@@ -1,0 +1,82 @@
+"""Fig. 10 — Augmented vs hierarchical certificates vs #indexes.
+
+Certifies identical blocks under both index-certification schemes while
+growing the number of authenticated indexes.  Expected shape (§7.4.4):
+
+* augmented grows steeply — every index re-runs the full block
+  verification inside the enclave (Alg. 4);
+* hierarchical grows gently — the block is verified once, then each
+  index costs one cheap certificate-check ecall (Alg. 5);
+* at exactly one index, augmented wins slightly (one fewer Ecall).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import CertifiedChainHarness
+from repro.bench.reporting import print_table
+from repro.query.indexes import AccountHistoryIndexSpec, KeywordIndexSpec
+
+
+def _specs(count):
+    specs = []
+    for index in range(count):
+        if index % 2 == 0:
+            specs.append(AccountHistoryIndexSpec(name=f"history{index}"))
+        else:
+            specs.append(KeywordIndexSpec(name=f"keyword{index}"))
+    return specs
+
+
+def _mean_block_time(params, scheme, num_indexes):
+    harness = CertifiedChainHarness(
+        params,
+        index_specs=_specs(num_indexes),
+        network="fig10",
+        seed=10,
+    )
+    harness.grow_workload(
+        "KV", params.multi_index_blocks, params.default_block_size,
+        schemes=(scheme,),
+    )
+    return harness.mean_timing(skip=1).total_s
+
+
+def test_fig10_multi_index_schemes(params, benchmark):
+    rows = []
+    series = {"augmented": {}, "hierarchical": {}}
+    for count in params.index_counts:
+        augmented_s = _mean_block_time(params, "augmented", count)
+        hierarchical_s = _mean_block_time(params, "hierarchical", count)
+        series["augmented"][count] = augmented_s
+        series["hierarchical"][count] = hierarchical_s
+        rows.append(
+            [count, round(augmented_s * 1000, 1), round(hierarchical_s * 1000, 1)]
+        )
+    print_table(
+        "Fig. 10 — certificate construction vs number of indexes",
+        ["#indexes", "augmented ms", "hierarchical ms"],
+        rows,
+    )
+
+    counts = list(params.index_counts)
+    one, many = counts[0], counts[-1]
+    # Reproduced claims: augmented wins at 1 index, loses at many, and
+    # its growth outpaces hierarchical's.
+    assert series["augmented"][one] < series["hierarchical"][one]
+    assert series["augmented"][many] > series["hierarchical"][many]
+    aug_growth = series["augmented"][many] - series["augmented"][one]
+    hier_growth = series["hierarchical"][many] - series["hierarchical"][one]
+    assert aug_growth > hier_growth * 1.5
+
+    # pytest-benchmark target: hierarchical certification, max indexes.
+    harness = CertifiedChainHarness(
+        params, index_specs=_specs(many), network="fig10-bench", seed=11
+    )
+
+    def one_block():
+        harness.add_and_certify(
+            harness.generator.block_txs("KV", params.default_block_size),
+            schemes=("hierarchical",),
+        )
+
+    benchmark.pedantic(one_block, rounds=3, iterations=1)

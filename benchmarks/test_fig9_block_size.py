@@ -1,0 +1,71 @@
+"""Fig. 9 — Impact of block size on certificate construction (KV, SB).
+
+Sweeps the number of transactions per block for the two macro
+benchmarks.  Expected shape: total construction time grows with block
+size (more execution, bigger read/write sets, bigger Merkle proofs),
+and the absolute enclave overhead grows with it because more proof
+bytes are marshalled through the Ecall boundary.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import CertifiedChainHarness
+from repro.bench.reporting import print_table
+
+
+def _sweep(params, workload):
+    points = []
+    for block_size in params.block_sizes:
+        harness = CertifiedChainHarness(
+            params, network=f"fig9-{workload}-{block_size}"
+        )
+        if workload == "SB":
+            harness.setup_smallbank()
+            harness.timings.clear()
+        harness.grow_workload(workload, params.cert_blocks, block_size)
+        points.append((block_size, harness.mean_timing(skip=1)))
+    return points
+
+
+def test_fig9_block_size_impact(params, benchmark):
+    rows = []
+    sweeps = {}
+    for workload in ("KV", "SB"):
+        points = _sweep(params, workload)
+        sweeps[workload] = points
+        for block_size, mean in points:
+            rows.append(
+                [
+                    workload,
+                    block_size,
+                    round(mean.total_s * 1000, 1),
+                    round(mean.outside_s * 1000, 1),
+                    round(mean.inside_s * 1000, 1),
+                    round(mean.enclave_overhead_s * 1000, 1),
+                    mean.update_proof_bytes,
+                ]
+            )
+    print_table(
+        "Fig. 9 — certificate construction vs block size",
+        ["workload", "txs/block", "total ms", "outside ms", "inside ms",
+         "overhead ms", "proof B"],
+        rows,
+    )
+
+    # Reproduced claims: totals, proofs, and overheads all grow.
+    for workload, points in sweeps.items():
+        smallest, largest = points[0][1], points[-1][1]
+        assert largest.total_s > smallest.total_s, workload
+        assert largest.update_proof_bytes > smallest.update_proof_bytes, workload
+        assert largest.enclave_overhead_s > smallest.enclave_overhead_s, workload
+
+    # pytest-benchmark target: KV at the largest swept block size.
+    harness = CertifiedChainHarness(params, network="fig9-bench")
+    largest_size = params.block_sizes[-1]
+
+    def one_block():
+        harness.add_and_certify(
+            harness.generator.block_txs("KV", largest_size)
+        )
+
+    benchmark.pedantic(one_block, rounds=3, iterations=1)

@@ -1,0 +1,23 @@
+"""DCert reproduction: secure, efficient, and versatile blockchain light clients.
+
+This package is a from-scratch Python reproduction of the Middleware '22
+paper *DCert: Towards Secure, Efficient, and Versatile Blockchain Light
+Clients* (Ji, Xu, Zhang, Xu).  It contains every substrate the paper
+depends on — cryptography, authenticated data structures, a blockchain
+with a contract VM and the Blockbench workloads, a simulated SGX enclave —
+plus the paper's contribution: the decentralized certification framework
+(block / augmented / hierarchical certificates) and the verifiable query
+layer for superlight clients.
+
+Quick tour of the public API::
+
+    from repro.chain import ChainBuilder
+    from repro.core import CertificateIssuer, SuperlightClient
+    from repro.sgx import EnclaveHost, AttestationService
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,21 @@
+"""Related-work baseline clients beyond the traditional light client.
+
+The paper's Fig. 7 compares DCert's superlight client against the
+traditional header-syncing light client
+(:class:`repro.chain.lightclient.LightClient`).  §8.1 additionally
+discusses logarithmic clients — NIPoPoW and FlyClient; this package
+implements a FlyClient-style probabilistic sampling client over a
+Merkle Mountain Range and a NIPoPoW-style superblock sampling client,
+so the bootstrap benchmarks can show every regime (linear light client,
+two logarithmic clients, DCert's constant superlight client).
+"""
+
+from repro.baselines.flyclient import FlyClientProver, FlyClientVerifier
+from repro.baselines.nipopow import NipopowProver, NipopowVerifier
+
+__all__ = [
+    "FlyClientProver",
+    "FlyClientVerifier",
+    "NipopowProver",
+    "NipopowVerifier",
+]

@@ -1,0 +1,30 @@
+"""Benchmark support: parameters, workload generation, measurement.
+
+Everything the per-figure benchmarks under ``benchmarks/`` share:
+
+* :mod:`params` — the experiment parameters (the paper's Table 1),
+  with a scale knob so the suite runs both in CI minutes and at larger
+  laboratory sizes.
+* :mod:`workloadgen` — Blockbench transaction generators: deterministic
+  accounts, pre-seeded contracts, per-workload transaction factories.
+* :mod:`harness` — chain builders that certify as they grow and return
+  per-block timing breakdowns (outside-enclave pre-processing vs
+  in-enclave certification — the Fig. 8/9 split).
+* :mod:`reporting` — plain-text table output mirroring the paper's
+  figures, so bench runs read like the evaluation section.
+"""
+
+from repro.bench.params import BenchParams, load_params
+from repro.bench.workloadgen import WorkloadGenerator
+from repro.bench.harness import CertTimings, CertifiedChainHarness
+from repro.bench.reporting import print_series, print_table
+
+__all__ = [
+    "BenchParams",
+    "CertTimings",
+    "CertifiedChainHarness",
+    "WorkloadGenerator",
+    "load_params",
+    "print_series",
+    "print_table",
+]

@@ -1,0 +1,89 @@
+"""Experiment parameters — the reproduction's Table 1.
+
+The paper's Table 1 lists the system parameters with defaults in bold;
+its own text fixes the headline scales (500 deployed contracts, 100k
+blocks and 100k sender accounts for certification runs; 500 key-value
+tuples and 10k blocks for query runs).  Those scales assume a Rust
+prototype; a pure-Python substrate reproduces the same *shapes* at
+proportionally smaller sizes, so parameters here come in two profiles:
+
+* ``quick`` (default) — minutes on a laptop, used by ``pytest
+  benchmarks/``;
+* ``full``  — closer to the paper's scales, selected with
+  ``REPRO_BENCH_SCALE=full``.
+
+EXPERIMENTS.md records which profile produced each reported number.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class BenchParams:
+    """One benchmark profile (all figures read from this)."""
+
+    name: str
+
+    # Shared chain settings.
+    difficulty_bits: int = 4
+    state_depth: int = 64
+
+    # Fig. 7: bootstrapping sweep (chain lengths at which we measure).
+    bootstrap_chain_lengths: tuple[int, ...] = (200, 500, 1000, 2000)
+    bootstrap_block_size: int = 2
+
+    # Fig. 8: per-workload certificate construction.
+    workloads: tuple[str, ...] = ("DN", "CPU", "IO", "KV", "SB")
+    cert_blocks: int = 10  # blocks measured per workload
+    default_block_size: int = 16  # transactions per block
+    num_accounts: int = 64  # sender accounts (paper: 100k)
+    num_contract_instances: int = 8  # logical contract partitions (paper: 500)
+    cpu_sort_size: int = 256  # CPUHeavy array length per tx
+    io_ops_per_tx: int = 10  # IOHeavy cells touched per tx
+
+    # Fig. 9: block-size sweep for KV and SB.
+    block_sizes: tuple[int, ...] = (4, 8, 16, 32, 64)
+
+    # Fig. 10: number of authenticated indexes.
+    index_counts: tuple[int, ...] = (1, 2, 4, 6, 8)
+    multi_index_blocks: int = 6
+
+    # Fig. 11: verifiable queries.
+    query_tuples: int = 50  # key-value tuples (paper: 500)
+    query_blocks: int = 300  # chain length (paper: 10k)
+    query_window_blocks: int = 20  # |t_to - t_from|
+    window_distances: tuple[float, ...] = (0.05, 0.25, 0.5, 0.75)
+    # ... as fractions of the chain length, measured back from the tip.
+    queries_per_point: int = 10
+
+
+_PROFILES: dict[str, BenchParams] = {
+    "quick": BenchParams(name="quick"),
+    "full": BenchParams(
+        name="full",
+        bootstrap_chain_lengths=(1000, 2000, 5000, 10000),
+        cert_blocks=30,
+        default_block_size=32,
+        num_accounts=512,
+        num_contract_instances=64,
+        block_sizes=(8, 16, 32, 64, 128),
+        multi_index_blocks=12,
+        query_tuples=200,
+        query_blocks=1500,
+        query_window_blocks=50,
+        queries_per_point=20,
+    ),
+}
+
+
+def load_params() -> BenchParams:
+    """The active profile, selected by ``REPRO_BENCH_SCALE``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale not in _PROFILES:
+        raise ValueError(
+            f"unknown REPRO_BENCH_SCALE {scale!r}; use one of {sorted(_PROFILES)}"
+        )
+    return _PROFILES[scale]

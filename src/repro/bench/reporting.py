@@ -1,0 +1,54 @@
+"""Plain-text reporting in the shape of the paper's figures.
+
+Benchmarks print their regenerated series through these helpers so a
+``pytest benchmarks/ --benchmark-only`` run reads like the evaluation
+section: one table per figure, same axes, same units.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.5f}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def print_table(
+    title: str, columns: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Print one aligned table with a figure-style title."""
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in formatted))
+        if formatted
+        else len(str(column))
+        for i, column in enumerate(columns)
+    ]
+    print()
+    print(f"== {title} ==")
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    print(header)
+    print("-" * len(header))
+    for row in formatted:
+        print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+
+
+def print_series(title: str, x_label: str, series: dict[str, dict[object, object]]) -> None:
+    """Print multiple named series sharing an x axis (a line plot as text)."""
+    x_values: list[object] = []
+    for points in series.values():
+        for x in points:
+            if x not in x_values:
+                x_values.append(x)
+    columns = [x_label] + list(series)
+    rows = [
+        [x] + [series[name].get(x, "-") for name in series] for x in x_values
+    ]
+    print_table(title, columns, rows)

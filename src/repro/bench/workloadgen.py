@@ -1,0 +1,117 @@
+"""Blockbench transaction generators.
+
+Deterministic sender accounts (seeded keypairs), per-workload
+transaction factories matching §7.2's setup: smart contracts are
+pre-deployed (we partition each contract's keyspace into
+``num_contract_instances`` logical instances, mirroring the paper's 500
+deployed contract copies), then invoked continuously.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.params import BenchParams
+from repro.chain.transaction import Transaction, sign_transaction
+from repro.crypto import KeyPair, generate_keypair
+
+
+class WorkloadGenerator:
+    """Generates signed Blockbench transactions deterministically."""
+
+    def __init__(self, params: BenchParams, seed: int = 42) -> None:
+        self.params = params
+        self._rng = random.Random(seed)
+        self._accounts: list[KeyPair] = [
+            generate_keypair(b"bench-account-%d" % index)
+            for index in range(params.num_accounts)
+        ]
+        self._nonce = 0
+
+    def _next_sender(self) -> KeyPair:
+        return self._rng.choice(self._accounts)
+
+    def _sign(self, contract: str, method: str, args: tuple[str, ...]) -> Transaction:
+        sender = self._next_sender()
+        tx = sign_transaction(sender.private, self._nonce, contract, method, args)
+        self._nonce += 1
+        return tx
+
+    def _instance(self) -> int:
+        return self._rng.randrange(self.params.num_contract_instances)
+
+    # -- per-workload factories ---------------------------------------------
+
+    def donothing_tx(self) -> Transaction:
+        return self._sign("donothing", "invoke", ())
+
+    def cpuheavy_tx(self) -> Transaction:
+        return self._sign(
+            "cpuheavy",
+            "sort",
+            (str(self.params.cpu_sort_size), str(self._rng.randrange(1 << 30))),
+        )
+
+    def ioheavy_tx(self) -> Transaction:
+        method = self._rng.choice(["write", "scan", "mixed"])
+        seed = self._instance() * 1000 + self._rng.randrange(100)
+        return self._sign("ioheavy", method, (str(self.params.io_ops_per_tx), str(seed)))
+
+    def kvstore_tx(self) -> Transaction:
+        key = f"i{self._instance()}:k{self._rng.randrange(self.params.query_tuples)}"
+        roll = self._rng.random()
+        if roll < 0.8:
+            return self._sign("kvstore", "put", (key, f"v{self._rng.randrange(1 << 20)}"))
+        if roll < 0.95:
+            return self._sign("kvstore", "get", (key,))
+        return self._sign("kvstore", "delete", (key,))
+
+    def smallbank_tx(self) -> Transaction:
+        account = f"a{self._rng.randrange(self.params.num_accounts)}"
+        other = f"a{self._rng.randrange(self.params.num_accounts)}"
+        op = self._rng.choice(
+            [
+                "deposit_checking",
+                "transact_savings",
+                "send_payment",
+                "write_check",
+                "amalgamate",
+            ]
+        )
+        if op == "send_payment":
+            return self._sign("smallbank", op, (account, other, "1"))
+        if op == "amalgamate":
+            return self._sign("smallbank", op, (account, other))
+        if op == "transact_savings":
+            return self._sign("smallbank", op, (account, "1"))
+        return self._sign("smallbank", op, (account, str(self._rng.randrange(1, 10))))
+
+    def smallbank_setup_txs(self) -> list[Transaction]:
+        """``create`` transactions opening every SmallBank account."""
+        return [
+            self._sign("smallbank", "create", (f"a{index}", "1000", "1000"))
+            for index in range(self.params.num_accounts)
+        ]
+
+    def block_txs(self, workload: str, block_size: int) -> list[Transaction]:
+        """One block's worth of transactions for a Blockbench workload."""
+        factory = {
+            "DN": self.donothing_tx,
+            "CPU": self.cpuheavy_tx,
+            "IO": self.ioheavy_tx,
+            "KV": self.kvstore_tx,
+            "SB": self.smallbank_tx,
+        }[workload]
+        return [factory() for _ in range(block_size)]
+
+    def history_update_tx(self, account_index: int) -> Transaction:
+        """A KVStore put targeting a fixed account (Fig. 11 workload)."""
+        key = f"acct{account_index}"
+        return self._sign(
+            "kvstore", "put", (key, f"v{self._nonce}")
+        )
+
+    def keyword_tx(self, vocabulary: list[str], keywords_per_tx: int = 3) -> Transaction:
+        """A transaction whose args carry searchable keywords."""
+        chosen = self._rng.sample(vocabulary, min(keywords_per_tx, len(vocabulary)))
+        return self._sign("kvstore", "put", (f"doc{self._nonce}", " ".join(chosen)))

@@ -1,0 +1,41 @@
+"""Genesis block construction.
+
+The genesis block is deterministic and certificate-free: the enclave
+program hard-codes its digest (Alg. 2, line 4), so everyone must derive
+bit-identical genesis data from the same network name.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import Block, BlockHeader, ZERO_HASH
+from repro.chain.state import StateStore
+from repro.merkle.mht import MerkleTree
+
+GENESIS_TIMESTAMP = 1_650_000_000
+
+
+def make_genesis(network: str = "repro-net", state_depth: int = 64) -> tuple[Block, StateStore]:
+    """Create the genesis block and the (empty) genesis state.
+
+    ``network`` is folded into the header via the nonce-free hash chain
+    (as the previous-hash field), so distinct networks cannot replay one
+    another's certificates.
+    """
+    state = StateStore(depth=state_depth)
+    seed = ZERO_HASH if network == "repro-net" else _network_tag(network)
+    header = BlockHeader(
+        height=0,
+        prev_hash=seed,
+        nonce=0,
+        difficulty_bits=0,
+        state_root=state.root,
+        tx_root=MerkleTree([]).root,
+        timestamp=GENESIS_TIMESTAMP,
+    )
+    return Block(header=header, transactions=()), state
+
+
+def _network_tag(network: str) -> bytes:
+    from repro.crypto.hashing import tagged_hash
+
+    return tagged_hash("genesis-network", network.encode("utf-8"))

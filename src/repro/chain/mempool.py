@@ -1,0 +1,30 @@
+"""A minimal FIFO mempool."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.chain.transaction import Transaction
+
+
+class Mempool:
+    """Pending transactions awaiting inclusion, in arrival order."""
+
+    def __init__(self) -> None:
+        self._pending: deque[Transaction] = deque()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, tx: Transaction) -> None:
+        self._pending.append(tx)
+
+    def add_many(self, txs: list[Transaction]) -> None:
+        self._pending.extend(txs)
+
+    def take(self, count: int) -> list[Transaction]:
+        """Remove and return up to ``count`` transactions."""
+        taken = []
+        while self._pending and len(taken) < count:
+            taken.append(self._pending.popleft())
+        return taken

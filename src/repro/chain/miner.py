@@ -1,0 +1,62 @@
+"""Block production.
+
+A miner executes candidate transactions against the current state
+(filtering out invalid ones), commits the write set to obtain the new
+state root, assembles the header, and solves the PoW puzzle — the
+process §2.1 of the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.executor import ExecutionResult, TransactionExecutor
+from repro.chain.state import StateStore
+from repro.chain.consensus import ProofOfWork
+from repro.chain.transaction import Transaction
+from repro.chain.vm import VM
+from repro.merkle.mht import MerkleTree
+
+
+class Miner:
+    """Produces blocks on top of a state store it owns."""
+
+    def __init__(self, vm: VM, pow_engine: ProofOfWork) -> None:
+        self.executor = TransactionExecutor(vm)
+        self.pow = pow_engine
+
+    def make_block(
+        self,
+        prev: BlockHeader,
+        state: StateStore,
+        candidates: list[Transaction],
+        *,
+        timestamp: int | None = None,
+        verify_signatures: bool = True,
+    ) -> tuple[Block, ExecutionResult]:
+        """Build, execute, and mine the next block; commits state writes.
+
+        Returns the mined block and the execution result (whose read and
+        write sets a CI reuses to build the update proof — the proof must
+        be generated against the *pre*-state, so CIs call
+        ``StateStore.prove_many`` before handing writes to this method's
+        state commit; see ``repro.core.issuer``).
+        """
+        result = self.executor.execute(
+            state,
+            candidates,
+            strict=False,
+            verify_signatures=verify_signatures,
+        )
+        state.apply_writes(result.write_set)
+        tx_root = MerkleTree([tx.encode() for tx in result.executed]).root
+        template = BlockHeader(
+            height=prev.height + 1,
+            prev_hash=prev.header_hash(),
+            nonce=0,
+            difficulty_bits=self.pow.difficulty_bits,
+            state_root=state.root,
+            tx_root=tx_root,
+            timestamp=timestamp if timestamp is not None else prev.timestamp + 15,
+        )
+        header = self.pow.solve(template)
+        return Block(header=header, transactions=tuple(result.executed)), result

@@ -1,0 +1,94 @@
+"""Full node: validates and stores the complete chain.
+
+On each incoming block a full node re-checks everything §2.1 lists:
+header linkage, the consensus proof, the transaction root, every
+transaction's signature, and — by re-executing the block — the state
+root.  The CI in :mod:`repro.core.issuer` builds on this class, adding
+certificate construction on top of validation.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import Block, ZERO_HASH
+from repro.chain.consensus import ProofOfWork
+from repro.chain.executor import ExecutionResult, TransactionExecutor
+from repro.chain.state import StateStore
+from repro.chain.vm import VM
+from repro.errors import BlockValidationError
+
+
+class FullNode:
+    """Holds the full chain and the materialized global state."""
+
+    def __init__(
+        self,
+        genesis: Block,
+        genesis_state: StateStore,
+        vm: VM,
+        pow_engine: ProofOfWork,
+    ) -> None:
+        if genesis.header.height != 0:
+            raise BlockValidationError("genesis block must have height 0")
+        self.blocks: list[Block] = [genesis]
+        self.state = genesis_state
+        self.executor = TransactionExecutor(vm)
+        self.pow = pow_engine
+
+    @property
+    def tip(self) -> Block:
+        return self.blocks[-1]
+
+    @property
+    def height(self) -> int:
+        return self.tip.header.height
+
+    def headers(self) -> list:
+        return [block.header for block in self.blocks]
+
+    def validate_block(self, block: Block) -> ExecutionResult:
+        """Validate ``block`` against the current tip without committing.
+
+        Returns the execution result (read/write sets) on success so a
+        CI can reuse it; raises :class:`BlockValidationError` otherwise.
+        """
+        header = block.header
+        prev = self.tip.header
+        if header.height != prev.height + 1:
+            raise BlockValidationError(
+                f"height {header.height} does not extend tip {prev.height}"
+            )
+        if header.prev_hash != prev.header_hash():
+            raise BlockValidationError("previous-hash linkage broken")
+        if not self.pow.check(header):
+            raise BlockValidationError("consensus proof (PoW) invalid")
+        if not block.check_tx_root():
+            raise BlockValidationError("transaction root mismatch")
+        result = self.executor.execute(
+            self.state, list(block.transactions), strict=True
+        )
+        # Predict the post-state root without committing: replay the
+        # writes on proofs (cheap) rather than copying the whole state.
+        predicted = self._predict_root(result)
+        if predicted != header.state_root:
+            raise BlockValidationError("state root mismatch after re-execution")
+        return result
+
+    def append_block(self, block: Block) -> ExecutionResult:
+        """Validate then commit ``block``."""
+        result = self.validate_block(block)
+        self.state.apply_writes(result.write_set)
+        self.blocks.append(block)
+        return result
+
+    # -- internals ---------------------------------------------------------
+
+    def _predict_root(self, result: ExecutionResult) -> bytes:
+        from repro.merkle.partial import PartialSMT
+
+        touched = result.touched_keys()
+        if not touched:
+            return self.state.root
+        entries = self.state.prove_many(touched)
+        partial = PartialSMT.from_proofs(self.state.root, entries)
+        partial.update_batch(result.write_set)
+        return partial.root

@@ -1,0 +1,101 @@
+"""Global state: a key/value store committed by a sparse Merkle tree.
+
+State cells are addressed by ``(contract, field)`` pairs, hashed into
+the SMT's 32-byte keyspace.  Two views matter to DCert:
+
+* :class:`StateStore` — the full state a CI/full node/miner holds;
+* :class:`TrackedView` — a recording wrapper used during execution that
+  captures the *read set* (pre-state values consulted) and the *write
+  set* (post-state values produced).  Those two sets, plus their SMT
+  proofs, are exactly the update proof ``pi_i`` of Alg. 1/2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.crypto.hashing import Digest, tagged_hash
+from repro.merkle.smt import SMTProof, SparseMerkleTree
+
+
+def state_key(contract: str, field: str) -> bytes:
+    """Derive the 32-byte SMT key for one contract state cell."""
+    return tagged_hash("state-cell", contract.encode("utf-8") + b"\x00" + field.encode("utf-8"))
+
+
+class BackingState(Protocol):
+    """Anything that can serve pre-state reads during execution."""
+
+    def get_raw(self, key: bytes) -> bytes | None: ...
+
+
+class StateStore:
+    """Full global state backed by a :class:`SparseMerkleTree`."""
+
+    def __init__(self, depth: int = 64) -> None:
+        self._tree = SparseMerkleTree(depth=depth)
+
+    @property
+    def root(self) -> Digest:
+        return self._tree.root
+
+    @property
+    def depth(self) -> int:
+        return self._tree.depth
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def get_raw(self, key: bytes) -> bytes | None:
+        return self._tree.get(key)
+
+    def get(self, contract: str, field: str) -> bytes | None:
+        return self._tree.get(state_key(contract, field))
+
+    def put_raw(self, key: bytes, value: bytes | None) -> None:
+        self._tree.update(key, value)
+
+    def apply_writes(self, writes: dict[bytes, bytes | None]) -> None:
+        """Commit a block's write set in one batched tree update."""
+        self._tree.update_batch(writes)
+
+    def prove(self, key: bytes) -> SMTProof:
+        return self._tree.prove(key)
+
+    def prove_many(self, keys: list[bytes]) -> list[tuple[bytes, bytes | None, SMTProof]]:
+        """(key, current value, proof) for each key — an update proof slice."""
+        return [(key, self._tree.get(key), self._tree.prove(key)) for key in keys]
+
+
+class TrackedView:
+    """Execution view that records reads and buffers writes.
+
+    Reads hit the write buffer first (read-your-writes inside a block),
+    then the pre-state, noting each pre-state value consulted.  Nothing
+    touches the backing store until the caller commits the write set.
+    """
+
+    def __init__(self, backing: BackingState | Callable[[bytes], bytes | None]) -> None:
+        self._lookup: Callable[[bytes], bytes | None]
+        if callable(backing):
+            self._lookup = backing
+        else:
+            self._lookup = backing.get_raw
+        self.reads: dict[bytes, bytes | None] = {}
+        self.writes: dict[bytes, bytes | None] = {}
+
+    def get_raw(self, key: bytes) -> bytes | None:
+        if key in self.writes:
+            return self.writes[key]
+        if key in self.reads:
+            return self.reads[key]
+        value = self._lookup(key)
+        self.reads[key] = value
+        return value
+
+    def put_raw(self, key: bytes, value: bytes | None) -> None:
+        self.writes[key] = value
+
+    def touched_keys(self) -> list[bytes]:
+        """Every key whose SMT path the update proof must cover."""
+        return sorted(set(self.reads) | set(self.writes))

@@ -1,0 +1,69 @@
+"""The DCert certificate: ``<pk_enc, rep, dig, sig>`` (§3.3).
+
+One object serves both roles — block certificate (``dig = H(hdr)``) and
+index certificate (``dig = H(hdr || H_idx)``).  The serialization is a
+stable byte encoding so that the superlight client's storage (the
+paper's 2.97 KB constant) is measured honestly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.crypto import PublicKey, Signature
+from repro.crypto.hashing import Digest
+from repro.errors import CertificateError
+from repro.sgx.attestation import AttestationReport
+
+#: Signature domain for certificate digests (block and index alike).
+CERT_SIG_DOMAIN = "dcert-cert"
+
+
+@dataclass(frozen=True, slots=True)
+class Certificate:
+    """A certificate issued by a CI's enclave."""
+
+    pk_enc: PublicKey
+    report: AttestationReport
+    dig: Digest
+    sig: Signature
+
+    def encode(self) -> bytes:
+        """Stable wire encoding (used for storage accounting)."""
+        return json.dumps(
+            {
+                "pk_enc": self.pk_enc.to_bytes().hex(),
+                "rep": {
+                    "measurement": self.report.measurement.hex(),
+                    "report_data": self.report.report_data.hex(),
+                    "ias_key": self.report.ias_key.to_bytes().hex(),
+                    "sig": self.report.signature.to_bytes().hex(),
+                },
+                "dig": self.dig.hex(),
+                "sig": self.sig.to_bytes().hex(),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Certificate":
+        try:
+            raw = json.loads(data.decode("utf-8"))
+            rep = raw["rep"]
+            return cls(
+                pk_enc=PublicKey.from_bytes(bytes.fromhex(raw["pk_enc"])),
+                report=AttestationReport(
+                    measurement=bytes.fromhex(rep["measurement"]),
+                    report_data=bytes.fromhex(rep["report_data"]),
+                    ias_key=PublicKey.from_bytes(bytes.fromhex(rep["ias_key"])),
+                    signature=Signature.from_bytes(bytes.fromhex(rep["sig"])),
+                ),
+                dig=bytes.fromhex(raw["dig"]),
+                sig=Signature.from_bytes(bytes.fromhex(raw["sig"])),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise CertificateError(f"malformed certificate encoding: {exc}") from exc
+
+    def size_bytes(self) -> int:
+        return len(self.encode())

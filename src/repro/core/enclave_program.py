@@ -1,0 +1,410 @@
+"""The DCert enclave program (Alg. 2, 4, 5 — the trusted side).
+
+Everything in this module runs "inside the enclave": its source code,
+together with its build-time configuration (genesis digest, IAS public
+key, the contract VM's code identity, the authenticated index specs),
+is folded into the enclave measurement, so clients that check the
+measurement are checking exactly this logic.
+
+Entry points (ecalls):
+
+* :meth:`DCertEnclaveProgram.sig_gen` — Alg. 2's ``ecall_sig_gen``:
+  verify the previous certificate (or the hard-coded genesis), verify
+  the new block including a full transaction replay over the proven
+  state slice, and sign ``H(hdr_i)``.
+* :meth:`DCertEnclaveProgram.augmented_sig_gen` — Alg. 4: block
+  verification *and* one authenticated index update in a single ecall.
+* :meth:`DCertEnclaveProgram.index_sig_gen` — the per-index body of
+  Alg. 5: trusts an already-issued block certificate instead of
+  replaying the block, then verifies the index update.
+
+The enclave-resident signing key ``sk_enc`` is generated at load time
+(``on_init``) and never leaves; only ``pk_enc`` is exported, via the
+attestation report's user data.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.consensus import ProofOfWork
+from repro.chain.executor import TransactionExecutor
+from repro.chain.vm import VM
+from repro.core.certificate import CERT_SIG_DOMAIN, Certificate
+from repro.core.digest import block_digest, index_digest
+from repro.core.updateproof import UpdateProof
+from repro.crypto import PublicKey, Signature, generate_keypair, sign, verify
+from repro.crypto.hashing import Digest
+from repro.errors import CertificateError, EnclaveError
+from repro.query.indexes import AuthenticatedIndexSpec
+from repro.sgx.enclave import EnclaveProgram
+
+#: How many recently certified blocks' write sets the enclave caches for
+#: the hierarchical scheme's follow-up index ecalls.
+_WRITE_SET_CACHE = 4
+
+
+class _NoState:
+    """Backing used when a block ships no update proof: any state access
+    means the proof is incomplete, so reads fail loudly."""
+
+    def get_raw(self, key: bytes) -> bytes | None:
+        from repro.errors import ProofError
+
+        raise ProofError("state access in a block with no update proof")
+
+
+_NO_STATE = _NoState()
+
+
+class DCertEnclaveProgram(EnclaveProgram):
+    """Trusted certificate-signing program."""
+
+    ECALLS = (
+        "sig_gen",
+        "sig_gen_lazy",
+        "augmented_sig_gen",
+        "index_sig_gen",
+        "seal_signing_key",
+    )
+
+    def __init__(
+        self,
+        genesis_digest: Digest,
+        ias_public_key: PublicKey,
+        vm: VM,
+        difficulty_bits: int,
+        index_specs: dict[str, AuthenticatedIndexSpec] | None = None,
+        *,
+        key_seed: bytes | None = None,
+        sealed_key: bytes | None = None,
+    ) -> None:
+        self._genesis_digest = genesis_digest
+        self._ias_public_key = ias_public_key
+        self._vm = vm
+        self._pow = ProofOfWork(difficulty_bits)
+        self._executor = TransactionExecutor(vm)
+        self._index_specs = dict(index_specs or {})
+        self._key_seed = key_seed
+        self._sealed_key = sealed_key
+        # Hierarchical-scheme cache: block hash -> (block, write set).
+        self._recent: dict[Digest, tuple[Block, dict[bytes, bytes | None]]] = {}
+
+    # -- enclave lifecycle ---------------------------------------------------
+
+    def config_bytes(self) -> bytes:
+        """Build-time identity folded into the measurement.
+
+        Covers the genesis digest, the trusted IAS key, the consensus
+        difficulty, the source of every deployed contract, and the
+        source + parameters of every index spec — so an enclave with
+        different trusted logic measures differently.
+        """
+        parts = [
+            self._genesis_digest,
+            self._ias_public_key.to_bytes(),
+            self._pow.difficulty_bits.to_bytes(2, "big"),
+        ]
+        for name in self._vm.deployed():
+            contract = self._vm._contracts[name]
+            parts.append(name.encode("utf-8"))
+            parts.append(inspect.getsource(type(contract)).encode("utf-8"))
+        for name in sorted(self._index_specs):
+            spec = self._index_specs[name]
+            parts.append(name.encode("utf-8"))
+            parts.append(inspect.getsource(type(spec)).encode("utf-8"))
+            parts.append(repr(sorted(vars(spec).items())).encode("utf-8"))
+        return b"\x00".join(parts)
+
+    def on_init(self) -> bytes:
+        """Generate ``(sk_enc, pk_enc)`` inside the enclave (§3.3).
+
+        If a sealed key blob is supplied (a CI restarting), the key is
+        *unsealed* instead — only this program on this platform can do
+        so — which keeps ``pk_enc`` stable across restarts so clients
+        need not re-check a new attestation report.
+        """
+        if self._sealed_key is not None:
+            from repro.crypto.keys import KeyPair, PrivateKey
+            from repro.sgx.sealing import unseal
+
+            secret_bytes = unseal(
+                self._platform, self.self_measurement, self._sealed_key
+            )
+            private = PrivateKey(int.from_bytes(secret_bytes, "big"))
+            self._keypair = KeyPair(private, private.public_key())
+        else:
+            self._keypair = generate_keypair(self._key_seed)
+        return self._keypair.public.to_bytes()
+
+    def seal_signing_key(self) -> bytes:
+        """Export ``sk_enc`` sealed to this enclave's identity."""
+        from repro.sgx.sealing import seal
+
+        return seal(
+            self._platform,
+            self.self_measurement,
+            self._keypair.private.secret.to_bytes(32, "big"),
+        )
+
+    # -- ecall: block certificate (Alg. 2) ------------------------------------
+
+    def sig_gen(
+        self,
+        blk_prev: Block,
+        cert_prev: Certificate | None,
+        blk_new: Block,
+        update_proof: UpdateProof,
+    ) -> Signature:
+        """``ecall_sig_gen``: returns the signature for ``H(hdr_new)``."""
+        if blk_prev.header.height == 0:
+            if blk_prev.header.header_hash() != self._genesis_digest:
+                raise CertificateError("previous block is not the genesis block")
+        else:
+            if cert_prev is None:
+                raise CertificateError("non-genesis previous block needs a certificate")
+            self.cert_verify_t(block_digest(blk_prev.header), cert_prev)
+        write_set = self.blk_verify_t(blk_prev, blk_new, update_proof)
+        self._remember(blk_new, write_set)
+        return sign(
+            self._keypair.private, block_digest(blk_new.header), CERT_SIG_DOMAIN
+        )
+
+    def sig_gen_lazy(
+        self,
+        blk_prev: Block,
+        cert_prev: Certificate | None,
+        blk_new: Block,
+    ) -> Signature:
+        """Alternative to :meth:`sig_gen`: fetch state proofs on demand.
+
+        Instead of one Ecall carrying the whole update proof, the
+        enclave *Ocalls* the untrusted host for each touched cell's
+        (value, proof) pair, verifying every response against the
+        previous state root.  Security is identical (every fetched proof
+        is checked); the cost profile is the §2.2 trade-off — 2 extra
+        transitions per touched cell — which the Ecall-batching ablation
+        benchmark measures against the eager design.
+        """
+        if blk_prev.header.height == 0:
+            if blk_prev.header.header_hash() != self._genesis_digest:
+                raise CertificateError("previous block is not the genesis block")
+        else:
+            if cert_prev is None:
+                raise CertificateError("non-genesis previous block needs a certificate")
+            self.cert_verify_t(block_digest(blk_prev.header), cert_prev)
+
+        prev_header, header = blk_prev.header, blk_new.header
+        if header.prev_hash != prev_header.header_hash():
+            raise CertificateError("H_{i-1} does not match the previous header")
+        if header.height != prev_header.height + 1:
+            raise CertificateError("block height is not prev + 1")
+        if not self._pow.check(header):
+            raise CertificateError("consensus proof invalid")
+        if not blk_new.check_tx_root():
+            raise CertificateError("H_tx does not commit to the transactions")
+
+        from repro.merkle.partial import PartialSMT
+
+        state_root = prev_header.state_root
+        partial: PartialSMT | None = None
+        program = self
+
+        class _LazyBacking:
+            def get_raw(self, key: bytes) -> bytes | None:
+                nonlocal partial
+                if partial is not None and partial.covers(key):
+                    return partial.get(key)
+                value, proof = program.ocall("fetch_state_proof", key)
+                if partial is None:
+                    partial = PartialSMT(proof.depth)
+                partial.merge_entry(state_root, key, value, proof)
+                return value
+
+        backing = _LazyBacking()
+        result = self._executor.execute(
+            backing, list(blk_new.transactions), strict=True
+        )
+        # Cover write-only keys, then commit and check the new root.
+        for key in result.write_set:
+            backing.get_raw(key)
+        if result.write_set:
+            assert partial is not None
+            partial.update_batch(result.write_set)
+        new_root = partial.root if partial is not None else state_root
+        if new_root != header.state_root:
+            raise CertificateError("state root mismatch after replay")
+        self._remember(blk_new, result.write_set)
+        return sign(
+            self._keypair.private, block_digest(blk_new.header), CERT_SIG_DOMAIN
+        )
+
+    # -- ecall: augmented certificate (Alg. 4) --------------------------------
+
+    def augmented_sig_gen(
+        self,
+        blk_prev: Block,
+        cert_prev_idx: Certificate | None,
+        prev_index_root: Digest,
+        blk_new: Block,
+        new_index_root: Digest,
+        update_proof: UpdateProof,
+        index_proof,
+        spec_name: str,
+    ) -> Signature:
+        """One ecall certifying the block *and* one index update."""
+        spec = self._spec(spec_name)
+        if blk_prev.header.height == 0:
+            # Alg. 4 only asserts the genesis index root; we also pin the
+            # genesis block digest (as Alg. 5 does) — without it a forged
+            # "genesis" would bootstrap a parallel certified chain.
+            if blk_prev.header.header_hash() != self._genesis_digest:
+                raise CertificateError("previous block is not the genesis block")
+            if prev_index_root != spec.genesis_root():
+                raise CertificateError("previous index root is not the genesis root")
+        else:
+            if cert_prev_idx is None:
+                raise CertificateError("previous index certificate missing")
+            self.cert_verify_t(
+                index_digest(blk_prev.header, prev_index_root), cert_prev_idx
+            )
+        write_set = self.blk_verify_t(blk_prev, blk_new, update_proof)
+        self._verify_index_update(
+            spec, blk_new, write_set, prev_index_root, new_index_root, index_proof
+        )
+        return sign(
+            self._keypair.private,
+            index_digest(blk_new.header, new_index_root),
+            CERT_SIG_DOMAIN,
+        )
+
+    # -- ecall: hierarchical index certificate (Alg. 5 loop body) -------------
+
+    def index_sig_gen(
+        self,
+        blk_prev_header: BlockHeader,
+        prev_index_root: Digest,
+        cert_prev_idx: Certificate | None,
+        blk_new_header: BlockHeader,
+        cert_new_block: Certificate,
+        new_index_root: Digest,
+        index_proof,
+        spec_name: str,
+    ) -> Signature:
+        """Certify one index update against an existing block certificate.
+
+        The block itself is *not* replayed — ``cert_new_block`` vouches
+        for it (Alg. 5 line 10); the write set comes from the enclave's
+        cache of its own recent ``sig_gen`` replays.
+        """
+        spec = self._spec(spec_name)
+        if blk_prev_header.height == 0:
+            if blk_prev_header.header_hash() != self._genesis_digest:
+                raise CertificateError("previous block is not the genesis block")
+            if prev_index_root != spec.genesis_root():
+                raise CertificateError("previous index root is not the genesis root")
+        else:
+            if cert_prev_idx is None:
+                raise CertificateError("previous index certificate missing")
+            self.cert_verify_t(
+                index_digest(blk_prev_header, prev_index_root), cert_prev_idx
+            )
+        self.cert_verify_t(block_digest(blk_new_header), cert_new_block)
+        cached = self._recent.get(blk_new_header.header_hash())
+        if cached is None:
+            raise EnclaveError(
+                "hierarchical index certification needs the block's write set; "
+                "run sig_gen for this block on this enclave first"
+            )
+        block, write_set = cached
+        self._verify_index_update(
+            spec, block, write_set, prev_index_root, new_index_root, index_proof
+        )
+        return sign(
+            self._keypair.private,
+            index_digest(blk_new_header, new_index_root),
+            CERT_SIG_DOMAIN,
+        )
+
+    # -- trusted helpers (Alg. 2 lines 10-32) ----------------------------------
+
+    def blk_verify_t(
+        self, blk_prev: Block, blk_new: Block, update_proof: UpdateProof
+    ) -> dict[bytes, bytes | None]:
+        """Verify ``blk_new``'s full validity; returns its write set."""
+        prev_header, header = blk_prev.header, blk_new.header
+        if header.prev_hash != prev_header.header_hash():
+            raise CertificateError("H_{i-1} does not match the previous header")
+        if header.height != prev_header.height + 1:
+            raise CertificateError("block height is not prev + 1")
+        if not self._pow.check(header):
+            raise CertificateError("consensus proof invalid")
+        if not blk_new.check_tx_root():
+            raise CertificateError("H_tx does not commit to the transactions")
+        # Verify the read set and rebuild the proven state slice
+        # (verify_mht of Alg. 2 line 17; raises ProofError on forgery).
+        # Blocks that touch no state (e.g. all-DoNothing blocks) come
+        # with an empty proof; any read or write then fails below.
+        partial = (
+            update_proof.open(prev_header.state_root)
+            if update_proof.entries
+            else None
+        )
+        # Replay every transaction (lines 18-21); signature checks are
+        # line 19's verify(tx).  Reads outside the proven slice raise.
+        result = self._executor.execute(
+            partial if partial is not None else _NO_STATE,
+            list(blk_new.transactions),
+            strict=True,
+        )
+        # Commit the write set and check the new root (lines 22-23).
+        if result.write_set:
+            if partial is None:
+                raise CertificateError("write set has no covering update proof")
+            partial.update_batch(result.write_set)
+        new_root = partial.root if partial is not None else prev_header.state_root
+        if new_root != header.state_root:
+            raise CertificateError("state root mismatch after replay")
+        return result.write_set
+
+    def cert_verify_t(self, expected_dig: Digest, cert: Certificate) -> None:
+        """Verify a certificate (Alg. 2 lines 25-32); raises on failure."""
+        if not cert.report.verify(self._ias_public_key):
+            raise CertificateError("attestation report is not signed by the IAS")
+        if cert.report.measurement != self.self_measurement:
+            raise CertificateError("certificate from a different enclave program")
+        if cert.pk_enc.to_bytes() != cert.report.report_data:
+            raise CertificateError("pk_enc does not match the attestation report")
+        if not verify(cert.pk_enc, cert.dig, cert.sig, CERT_SIG_DOMAIN):
+            raise CertificateError("certificate signature invalid")
+        if cert.dig != expected_dig:
+            raise CertificateError("certificate digest does not match the block")
+
+    # -- internals -------------------------------------------------------------
+
+    def _spec(self, name: str) -> AuthenticatedIndexSpec:
+        spec = self._index_specs.get(name)
+        if spec is None:
+            raise EnclaveError(f"enclave has no index spec {name!r}")
+        return spec
+
+    def _verify_index_update(
+        self,
+        spec: AuthenticatedIndexSpec,
+        block: Block,
+        write_set: dict[bytes, bytes | None],
+        prev_root: Digest,
+        new_root: Digest,
+        index_proof,
+    ) -> None:
+        """Alg. 4 lines 8-10: derive writes, verify, recompute the root."""
+        writes = spec.write_data(block, write_set)
+        computed = spec.apply_writes(prev_root, writes, index_proof)
+        if computed != new_root:
+            raise CertificateError("index root mismatch after applying writes")
+
+    def _remember(self, block: Block, write_set: dict[bytes, bytes | None]) -> None:
+        self._recent[block.header.header_hash()] = (block, write_set)
+        while len(self._recent) > _WRITE_SET_CACHE:
+            self._recent.pop(next(iter(self._recent)))

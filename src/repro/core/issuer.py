@@ -1,0 +1,321 @@
+"""The SGX-enabled Certificate Issuer — the CI of Fig. 2.
+
+A CI is a full node (it validates and stores everything) that also runs
+the DCert enclave.  Its outside-enclave side implements Alg. 1:
+
+1. re-execute the incoming block to obtain the read/write sets
+   (``comp_data_set``),
+2. build the update proof against the previous state
+   (``get_update_proof``),
+3. enter the enclave for the signature (``ecall_sig_gen``), and
+4. assemble the certificate ``<pk_enc, rep, dig, sig>``.
+
+For verifiable queries the CI additionally maintains the authenticated
+indexes it certifies and drives either certification scheme:
+
+* **augmented** (Alg. 4) — one ecall per index, each replaying the full
+  block verification;
+* **hierarchical** (Alg. 5) — the block certificate once, then one
+  cheap ecall per index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.block import Block
+from repro.chain.consensus import ProofOfWork
+from repro.chain.node import FullNode
+from repro.chain.state import StateStore
+from repro.chain.vm import VM
+from repro.core.certificate import Certificate
+from repro.core.digest import block_digest, index_digest
+from repro.core.enclave_program import DCertEnclaveProgram
+from repro.core.updateproof import UpdateProof
+from repro.crypto import PublicKey
+from repro.crypto.hashing import Digest
+from repro.errors import CertificateError
+from repro.query.indexes import (
+    AccountHistoryIndexSpec,
+    AggregateHistoryIndex,
+    AuthenticatedIndexSpec,
+    BalanceAggregateIndexSpec,
+    KeywordIndexSpec,
+    MaintainedKeywordIndex,
+    TwoLevelHistoryIndex,
+    ValueRangeIndex,
+    ValueRangeIndexSpec,
+)
+from repro.sgx.attestation import AttestationService, WELL_KNOWN_IAS
+from repro.sgx.costs import SGXCostModel
+from repro.sgx.enclave import EnclaveHost
+from repro.sgx.platform import SGXPlatform
+
+
+def make_maintained_index(spec: AuthenticatedIndexSpec):
+    """Instantiate the SP-side structure matching an index spec."""
+    if isinstance(spec, AccountHistoryIndexSpec):
+        return TwoLevelHistoryIndex(spec)
+    if isinstance(spec, KeywordIndexSpec):
+        return MaintainedKeywordIndex(spec)
+    if isinstance(spec, BalanceAggregateIndexSpec):
+        return AggregateHistoryIndex(spec)
+    if isinstance(spec, ValueRangeIndexSpec):
+        return ValueRangeIndex(spec)
+    raise CertificateError(f"no maintained index for spec {type(spec).__name__}")
+
+
+@dataclass(slots=True)
+class CertifiedBlock:
+    """Everything the CI broadcasts for one block."""
+
+    block: Block
+    certificate: Certificate | None
+    index_certificates: dict[str, Certificate] = field(default_factory=dict)
+    index_roots: dict[str, Digest] = field(default_factory=dict)
+    augmented_certificates: dict[str, Certificate] = field(default_factory=dict)
+
+
+class CertificateIssuer:
+    """Full node + enclave: certifies every block it accepts."""
+
+    def __init__(
+        self,
+        genesis: Block,
+        genesis_state: StateStore,
+        vm: VM,
+        pow_engine: ProofOfWork,
+        *,
+        index_specs: list[AuthenticatedIndexSpec] | None = None,
+        platform: SGXPlatform | None = None,
+        ias: AttestationService = WELL_KNOWN_IAS,
+        cost_model: SGXCostModel | None = None,
+        key_seed: bytes | None = None,
+        sealed_key: bytes | None = None,
+    ) -> None:
+        self.node = FullNode(genesis, genesis_state, vm, pow_engine)
+        self.ias = ias
+        specs = {spec.name: spec for spec in (index_specs or [])}
+        program = DCertEnclaveProgram(
+            genesis_digest=genesis.header.header_hash(),
+            ias_public_key=ias.public_key,
+            vm=vm,
+            difficulty_bits=pow_engine.difficulty_bits,
+            index_specs=specs,
+            key_seed=key_seed,
+            sealed_key=sealed_key,
+        )
+        self.platform = platform if platform is not None else SGXPlatform()
+        ias.register_platform(self.platform)
+        self.enclave = EnclaveHost(program, self.platform, cost_model=cost_model)
+        self.report = self.enclave.attest(ias)
+        self.pk_enc = PublicKey.from_bytes(self.enclave.report_data)
+        self.indexes = {name: make_maintained_index(spec) for name, spec in specs.items()}
+        self._index_roots: dict[str, Digest] = {
+            name: spec.genesis_root() for name, spec in specs.items()
+        }
+        self._index_certs: dict[str, Certificate | None] = {
+            name: None for name in specs
+        }
+        self._aug_certs: dict[str, Certificate | None] = {name: None for name in specs}
+        self.latest_certificate: Certificate | None = None
+        self.certified: list[CertifiedBlock] = []
+
+    # -- Alg. 1: gen_cert ------------------------------------------------------
+
+    def preprocess(self, block: Block):
+        """Alg. 1 lines 2-3: re-execute and build the update proof.
+
+        Untrusted pre-processing, exposed separately so benchmarks can
+        time it apart from the enclave work.
+        """
+        result = self.node.validate_block(block)  # comp_data_set
+        update_proof = UpdateProof.build(self.node.state, result.touched_keys())
+        return result, update_proof
+
+    def gen_cert(
+        self, block: Block, *, precomputed=None
+    ) -> tuple[Certificate, UpdateProof, dict]:
+        """Construct the block certificate for ``block`` (Alg. 1).
+
+        Does not commit the block; returns the certificate, the update
+        proof (for reuse), and the block's write set.  Raises if the
+        block or its state transition is invalid.  ``precomputed`` (from
+        :meth:`preprocess`) skips re-running the untrusted side.
+        """
+        result, update_proof = (
+            precomputed if precomputed is not None else self.preprocess(block)
+        )
+        prev = self.node.tip
+        sig = self.enclave.ecall(
+            "sig_gen",
+            prev,
+            self.latest_certificate,
+            block,
+            update_proof,
+            payload_bytes=update_proof.size_bytes(),
+        )
+        certificate = Certificate(
+            pk_enc=self.pk_enc,
+            report=self.report,
+            dig=block_digest(block.header),
+            sig=sig,
+        )
+        return certificate, update_proof, result.write_set
+
+    def process_block(
+        self,
+        block: Block,
+        *,
+        schemes: tuple[str, ...] = ("hierarchical",),
+        precomputed=None,
+    ) -> CertifiedBlock:
+        """Certify ``block`` (and its indexes), then commit it.
+
+        ``schemes`` selects index certification: ``"hierarchical"``
+        (Alg. 5, the default), ``"augmented"`` (Alg. 4), or both — the
+        Fig. 10 benchmark runs both to compare construction costs.
+
+        Per Alg. 4 the augmented certificate *replaces* the block
+        certificate (block and index verification share one ecall), so
+        with ``schemes=("augmented",)`` and at least one index no plain
+        block certificate is issued; an issuer should then stick to the
+        augmented scheme for its lifetime, since the block-certificate
+        chain stops advancing.
+        """
+        for scheme in schemes:
+            if scheme not in ("hierarchical", "augmented"):
+                raise CertificateError(f"unknown certification scheme {scheme!r}")
+        if precomputed is not None:
+            result, update_proof = precomputed
+        else:
+            result, update_proof = self.preprocess(block)
+        write_set = result.write_set
+        prev = self.node.tip
+
+        certificate: Certificate | None = None
+        if "hierarchical" in schemes or not self.indexes:
+            certificate, update_proof, write_set = self.gen_cert(
+                block, precomputed=(result, update_proof)
+            )
+        certified = CertifiedBlock(block=block, certificate=certificate)
+
+        # Ingest index updates once; reuse proofs across both schemes.
+        ingests: dict[str, tuple[Digest, tuple, object, Digest]] = {}
+        for name, index in self.indexes.items():
+            prev_root = self._index_roots[name]
+            writes, index_proof = index.ingest_block(block, write_set)
+            ingests[name] = (prev_root, writes, index_proof, index.root)
+
+        if "augmented" in schemes:
+            for name, (prev_root, writes, index_proof, new_root) in ingests.items():
+                sig = self.enclave.ecall(
+                    "augmented_sig_gen",
+                    prev,
+                    self._aug_certs[name],
+                    prev_root,
+                    block,
+                    new_root,
+                    update_proof,
+                    index_proof,
+                    name,
+                    payload_bytes=update_proof.size_bytes()
+                    + index_proof.size_bytes(),
+                )
+                cert = Certificate(
+                    pk_enc=self.pk_enc,
+                    report=self.report,
+                    dig=index_digest(block.header, new_root),
+                    sig=sig,
+                )
+                self._aug_certs[name] = cert
+                certified.augmented_certificates[name] = cert
+
+        if "hierarchical" in schemes:
+            assert certificate is not None  # issued above for this scheme
+            for name, (prev_root, writes, index_proof, new_root) in ingests.items():
+                sig = self.enclave.ecall(
+                    "index_sig_gen",
+                    prev.header,
+                    prev_root,
+                    self._index_certs[name],
+                    block.header,
+                    certificate,
+                    new_root,
+                    index_proof,
+                    name,
+                    payload_bytes=index_proof.size_bytes(),
+                )
+                cert = Certificate(
+                    pk_enc=self.pk_enc,
+                    report=self.report,
+                    dig=index_digest(block.header, new_root),
+                    sig=sig,
+                )
+                self._index_certs[name] = cert
+                certified.index_certificates[name] = cert
+
+        for name, (_, _, _, new_root) in ingests.items():
+            self._index_roots[name] = new_root
+            certified.index_roots[name] = new_root
+
+        # Commit (the block was already fully validated in preprocess).
+        self.node.state.apply_writes(write_set)
+        self.node.blocks.append(block)
+        if certificate is not None:
+            self.latest_certificate = certificate
+        self.certified.append(certified)
+        return certified
+
+    # -- conveniences ----------------------------------------------------------
+
+    def seal_signing_key(self) -> bytes:
+        """Export the enclave signing key sealed to this enclave's
+        identity, for restart continuity (pass as ``sealed_key`` to the
+        next :class:`CertificateIssuer` on the same platform)."""
+        return self.enclave.ecall("seal_signing_key")
+
+    @property
+    def measurement(self) -> Digest:
+        return self.enclave.measurement
+
+    def index_root(self, name: str) -> Digest:
+        return self._index_roots[name]
+
+    def index_certificate(self, name: str) -> Certificate | None:
+        return self._index_certs[name]
+
+
+def attach_lazy_proof_service(issuer: CertificateIssuer) -> None:
+    """Register the Ocall the lazy certification path depends on.
+
+    The handler serves (pre-state value, SMT proof) for any cell from
+    the CI's untrusted state — the enclave verifies each response, so a
+    lying handler only aborts certification.
+    """
+
+    def fetch_state_proof(key: bytes):
+        return issuer.node.state.get_raw(key), issuer.node.state.prove(key)
+
+    issuer.enclave.register_ocall("fetch_state_proof", fetch_state_proof)
+
+
+def gen_cert_lazy(issuer: CertificateIssuer, block: Block) -> Certificate:
+    """Alg. 1 with the lazy (Ocall-per-cell) enclave path.
+
+    Requires :func:`attach_lazy_proof_service`.  Does not commit the
+    block; exists for the Ecall/Ocall design-space ablation.
+    """
+    issuer.node.validate_block(block)
+    sig = issuer.enclave.ecall(
+        "sig_gen_lazy",
+        issuer.node.tip,
+        issuer.latest_certificate,
+        block,
+    )
+    return Certificate(
+        pk_enc=issuer.pk_enc,
+        report=issuer.report,
+        dig=block_digest(block.header),
+        sig=sig,
+    )

@@ -1,0 +1,216 @@
+"""The superlight client (Alg. 3) — DCert's headline artifact.
+
+Keeps exactly one block header and one certificate, whatever the chain
+length: validating a new tip is a constant amount of work (one report
+check — cached per enclave —, one signature verification, one digest
+comparison, and the chain-selection rule), and storage is the size of
+one header plus one certificate (the paper's 2.97 KB).
+
+The same client verifies query results: it tracks the latest certified
+root of each authenticated index (via index certificates) and checks
+the SP's proofs against those roots.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import BlockHeader
+from repro.core.certificate import CERT_SIG_DOMAIN, Certificate
+from repro.core.digest import block_digest, index_digest
+from repro.crypto import PublicKey, verify
+from repro.crypto.hashing import Digest
+from repro.errors import CertificateError
+from repro.query.indexes import (
+    AggregateAnswer,
+    ValueRangeAnswer,
+    verify_value_range_answer,
+    HistoryAnswer,
+    KeywordAnswer,
+    verify_aggregate_answer,
+    verify_history_versions,
+    verify_keyword_results,
+)
+
+
+class SuperlightClient:
+    """Constant-cost blockchain (and index) integrity validation."""
+
+    def __init__(
+        self,
+        expected_measurement: Digest,
+        ias_public_key: PublicKey,
+    ) -> None:
+        self.expected_measurement = expected_measurement
+        self.ias_public_key = ias_public_key
+        self.latest_header: BlockHeader | None = None
+        self.latest_certificate: Certificate | None = None
+        # "A superlight client needs to check an attestation report only
+        # once for the same enclave" (§4.3): cache verified reports.
+        self._verified_reports: set[bytes] = set()
+        # Latest certified root per authenticated index.
+        self._index_roots: dict[str, tuple[int, Digest]] = {}
+
+    # -- Alg. 3 ---------------------------------------------------------------
+
+    def validate_chain(self, header: BlockHeader, cert: Certificate) -> bool:
+        """Validate a candidate tip; adopt it if it wins chain selection.
+
+        Returns True when the candidate was adopted, False when it lost
+        chain selection; raises :class:`CertificateError` when the
+        certificate itself is invalid.
+        """
+        self._check_certificate(cert, block_digest(header))
+        if not self._follows_chain_selection(header):
+            return False
+        self.latest_header = header
+        self.latest_certificate = cert
+        return True
+
+    def validate_index_certificate(
+        self, name: str, header: BlockHeader, index_root: Digest, cert: Certificate
+    ) -> bool:
+        """Adopt a certified index root if its block is the newest seen."""
+        self._check_certificate(cert, index_digest(header, index_root))
+        current = self._index_roots.get(name)
+        if current is not None and current[0] >= header.height:
+            return False
+        self._index_roots[name] = (header.height, index_root)
+        return True
+
+    # -- query verification ------------------------------------------------------
+
+    def certified_index_root(self, name: str) -> Digest:
+        if name not in self._index_roots:
+            raise CertificateError(f"no certified root for index {name!r}")
+        return self._index_roots[name][1]
+
+    def verify_history(self, name: str, answer: HistoryAnswer) -> bool:
+        """Check a historical account answer against the certified root."""
+        return verify_history_versions(self.certified_index_root(name), answer)
+
+    def verify_keyword(self, name: str, answer: KeywordAnswer) -> bool:
+        """Check a keyword query answer against the certified root."""
+        return verify_keyword_results(self.certified_index_root(name), answer)
+
+    def verify_aggregate(self, name: str, answer: AggregateAnswer) -> bool:
+        """Check an aggregate (SUM/COUNT/MIN/MAX) answer against the
+        certified root of the aggregate index."""
+        return verify_aggregate_answer(self.certified_index_root(name), answer)
+
+    def verify_value_range(self, name: str, answer: ValueRangeAnswer) -> bool:
+        """Check a current-value range answer against the certified root."""
+        return verify_value_range_answer(self.certified_index_root(name), answer)
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the client's durable state (a "wallet file").
+
+        Exactly what Fig. 7a counts: the latest header + certificate,
+        plus the certified index roots — all constant-size.
+        """
+        import json
+
+        return json.dumps(
+            {
+                "measurement": self.expected_measurement.hex(),
+                "ias_key": self.ias_public_key.to_bytes().hex(),
+                "header": (
+                    self.latest_header.encode().decode("utf-8")
+                    if self.latest_header is not None
+                    else None
+                ),
+                "certificate": (
+                    self.latest_certificate.encode().decode("utf-8")
+                    if self.latest_certificate is not None
+                    else None
+                ),
+                "index_roots": {
+                    name: [height, root.hex()]
+                    for name, (height, root) in self._index_roots.items()
+                },
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, data: str) -> "SuperlightClient":
+        """Restore a client; the stored certificate is *re-verified*, so
+        a tampered wallet file cannot smuggle in a bad tip."""
+        import json
+
+        from repro.crypto import PublicKey
+
+        raw = json.loads(data)
+        client = cls(
+            bytes.fromhex(raw["measurement"]),
+            PublicKey.from_bytes(bytes.fromhex(raw["ias_key"])),
+        )
+        if raw["header"] is not None and raw["certificate"] is not None:
+            header = BlockHeader.decode(raw["header"].encode("utf-8"))
+            certificate = Certificate.decode(raw["certificate"].encode("utf-8"))
+            client.validate_chain(header, certificate)
+        for name, (height, root_hex) in raw.get("index_roots", {}).items():
+            client._index_roots[name] = (int(height), bytes.fromhex(root_hex))
+        return client
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Bytes the client persists: one header + one certificate."""
+        total = 0
+        if self.latest_header is not None:
+            total += self.latest_header.size_bytes()
+        if self.latest_certificate is not None:
+            total += self.latest_certificate.size_bytes()
+        return total
+
+    # -- internals -------------------------------------------------------------------
+
+    def _check_certificate(self, cert: Certificate, expected_dig: Digest) -> None:
+        report_id = cert.report.signature.to_bytes()
+        if report_id not in self._verified_reports:
+            if not cert.report.verify(self.ias_public_key):
+                raise CertificateError("attestation report not signed by the IAS")
+            if cert.report.measurement != self.expected_measurement:
+                raise CertificateError("certificate from an unexpected enclave program")
+            self._verified_reports.add(report_id)
+        if cert.pk_enc.to_bytes() != cert.report.report_data:
+            raise CertificateError("pk_enc does not match the attestation report")
+        if not verify(cert.pk_enc, cert.dig, cert.sig, CERT_SIG_DOMAIN):
+            raise CertificateError("certificate signature invalid")
+        if cert.dig != expected_dig:
+            raise CertificateError("certificate digest does not match")
+
+    def _follows_chain_selection(self, header: BlockHeader) -> bool:
+        """Longest-chain rule with a deterministic hash tie-break."""
+        if self.latest_header is None:
+            return True
+        if header.height != self.latest_header.height:
+            return header.height > self.latest_header.height
+        return header.header_hash() < self.latest_header.header_hash()
+
+
+def compute_expected_measurement(
+    genesis_digest: Digest,
+    ias_public_key: PublicKey,
+    vm,
+    difficulty_bits: int,
+    index_specs: dict | None = None,
+) -> Digest:
+    """What an honest DCert enclave measures as, given public inputs.
+
+    Clients derive this from the *published* enclave source and build
+    configuration — the same way real SGX users reproduce MRENCLAVE
+    from a reproducible build.
+    """
+    from repro.core.enclave_program import DCertEnclaveProgram
+    from repro.sgx.enclave import measure_program
+
+    reference = DCertEnclaveProgram(
+        genesis_digest=genesis_digest,
+        ias_public_key=ias_public_key,
+        vm=vm,
+        difficulty_bits=difficulty_bits,
+        index_specs=index_specs,
+    )
+    return measure_program(DCertEnclaveProgram, reference.config_bytes())

@@ -1,0 +1,219 @@
+"""Pure-Python ECDSA over secp256k1 with RFC-6979 deterministic nonces.
+
+This is the signature scheme the (simulated) SGX enclave uses to sign
+block digests, and the scheme blockchain accounts use to authorize
+transactions.  It is written from scratch on top of the standard library:
+
+* secp256k1 group arithmetic in Jacobian coordinates,
+* scalar multiplication with a fixed 4-bit window,
+* RFC-6979 nonce derivation (HMAC-SHA256) so signatures are deterministic
+  and the test suite is reproducible,
+* low-s normalization (BIP-62) so signatures are non-malleable.
+
+The implementation favours clarity over raw speed; the benchmark harness
+accounts for the constant-factor slowdown relative to the paper's Rust
+crates (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import CryptoError, SignatureError
+
+# secp256k1 domain parameters (SEC 2, section 2.4.1).
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+A = 0
+B = 7
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+#: A point is ``None`` (infinity) or an affine ``(x, y)`` pair.
+Point = tuple[int, int] | None
+
+_JPoint = tuple[int, int, int]  # Jacobian (X, Y, Z); Z == 0 is infinity.
+_J_INFINITY: _JPoint = (1, 1, 0)
+
+
+def _to_jacobian(point: Point) -> _JPoint:
+    if point is None:
+        return _J_INFINITY
+    return (point[0], point[1], 1)
+
+
+def _from_jacobian(point: _JPoint) -> Point:
+    x, y, z = point
+    if z == 0:
+        return None
+    z_inv = pow(z, P - 2, P)
+    z_inv2 = (z_inv * z_inv) % P
+    return ((x * z_inv2) % P, (y * z_inv2 * z_inv) % P)
+
+
+def _j_double(point: _JPoint) -> _JPoint:
+    x, y, z = point
+    if z == 0 or y == 0:
+        return _J_INFINITY
+    y2 = (y * y) % P
+    s = (4 * x * y2) % P
+    m = (3 * x * x) % P  # a == 0 for secp256k1
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * y2 * y2) % P
+    nz = (2 * y * z) % P
+    return (nx, ny, nz)
+
+
+def _j_add(p1: _JPoint, p2: _JPoint) -> _JPoint:
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    if z1 == 0:
+        return p2
+    if z2 == 0:
+        return p1
+    z12 = (z1 * z1) % P
+    z22 = (z2 * z2) % P
+    u1 = (x1 * z22) % P
+    u2 = (x2 * z12) % P
+    s1 = (y1 * z22 * z2) % P
+    s2 = (y2 * z12 * z1) % P
+    if u1 == u2:
+        if s1 != s2:
+            return _J_INFINITY
+        return _j_double(p1)
+    h = (u2 - u1) % P
+    r = (s2 - s1) % P
+    h2 = (h * h) % P
+    h3 = (h2 * h) % P
+    u1h2 = (u1 * h2) % P
+    nx = (r * r - h3 - 2 * u1h2) % P
+    ny = (r * (u1h2 - nx) - s1 * h3) % P
+    nz = (h * z1 * z2) % P
+    return (nx, ny, nz)
+
+
+def _j_mul(point: _JPoint, scalar: int) -> _JPoint:
+    """Scalar multiplication with a fixed 4-bit window."""
+    scalar %= N
+    if scalar == 0:
+        return _J_INFINITY
+    # Precompute 1P..15P.
+    table = [_J_INFINITY, point]
+    for _ in range(14):
+        table.append(_j_add(table[-1], point))
+    result = _J_INFINITY
+    for nibble_index in range((scalar.bit_length() + 3) // 4 - 1, -1, -1):
+        for _ in range(4):
+            result = _j_double(result)
+        nibble = (scalar >> (4 * nibble_index)) & 0xF
+        if nibble:
+            result = _j_add(result, table[nibble])
+    return result
+
+
+def point_mul(point: Point, scalar: int) -> Point:
+    """Multiply an affine ``point`` by ``scalar`` on secp256k1."""
+    return _from_jacobian(_j_mul(_to_jacobian(point), scalar))
+
+
+def point_add(p1: Point, p2: Point) -> Point:
+    """Add two affine points on secp256k1."""
+    return _from_jacobian(_j_add(_to_jacobian(p1), _to_jacobian(p2)))
+
+
+def generator() -> Point:
+    """Return the secp256k1 base point G."""
+    return (GX, GY)
+
+
+def is_on_curve(point: Point) -> bool:
+    """Check whether ``point`` satisfies y^2 = x^3 + 7 (mod p)."""
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - (x * x * x + A * x + B)) % P == 0
+
+
+def derive_public_point(secret: int) -> Point:
+    """Return the public point ``secret * G``; ``secret`` must be in [1, n)."""
+    if not 1 <= secret < N:
+        raise CryptoError("secret scalar out of range")
+    return point_mul(generator(), secret)
+
+
+def _bits2int(data: bytes) -> int:
+    value = int.from_bytes(data, "big")
+    excess = len(data) * 8 - N.bit_length()
+    if excess > 0:
+        value >>= excess
+    return value
+
+
+def _int2octets(value: int) -> bytes:
+    return value.to_bytes(32, "big")
+
+
+def rfc6979_nonce(secret: int, msg_hash: bytes, extra: bytes = b"") -> int:
+    """Derive the deterministic ECDSA nonce k per RFC 6979 (HMAC-SHA256)."""
+    h1 = _bits2int(msg_hash) % N
+    key_material = _int2octets(secret) + _int2octets(h1) + extra
+    v = b"\x01" * 32
+    k = b"\x00" * 32
+    k = hmac.new(k, v + b"\x00" + key_material, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    k = hmac.new(k, v + b"\x01" + key_material, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    while True:
+        v = hmac.new(k, v, hashlib.sha256).digest()
+        candidate = _bits2int(v)
+        if 1 <= candidate < N:
+            return candidate
+        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+def sign_digest(secret: int, msg_hash: bytes) -> tuple[int, int]:
+    """Sign a 32-byte message hash; returns the (r, s) pair with low s."""
+    if len(msg_hash) != 32:
+        raise CryptoError("message hash must be 32 bytes")
+    z = _bits2int(msg_hash) % N
+    attempt = 0
+    while True:
+        extra = attempt.to_bytes(4, "big") if attempt else b""
+        k = rfc6979_nonce(secret, msg_hash, extra)
+        point = point_mul(generator(), k)
+        assert point is not None
+        r = point[0] % N
+        if r == 0:
+            attempt += 1
+            continue
+        k_inv = pow(k, N - 2, N)
+        s = (k_inv * (z + r * secret)) % N
+        if s == 0:
+            attempt += 1
+            continue
+        if s > N // 2:  # low-s normalization (BIP-62)
+            s = N - s
+        return (r, s)
+
+
+def verify_digest(public: Point, msg_hash: bytes, signature: tuple[int, int]) -> bool:
+    """Verify an (r, s) signature over a 32-byte message hash."""
+    if public is None or not is_on_curve(public):
+        raise SignatureError("invalid public key point")
+    if len(msg_hash) != 32:
+        raise SignatureError("message hash must be 32 bytes")
+    r, s = signature
+    if not (1 <= r < N and 1 <= s < N):
+        return False
+    z = _bits2int(msg_hash) % N
+    s_inv = pow(s, N - 2, N)
+    u1 = (z * s_inv) % N
+    u2 = (r * s_inv) % N
+    point = _from_jacobian(
+        _j_add(_j_mul(_to_jacobian(generator()), u1), _j_mul(_to_jacobian(public), u2))
+    )
+    if point is None:
+        return False
+    return point[0] % N == r

@@ -1,0 +1,62 @@
+"""Domain-separated SHA-256 hashing used by every authenticated structure.
+
+All Merkle structures in this library hash through these helpers so that
+leaves can never be confused with internal nodes (the classic second-
+preimage attack on naive Merkle trees) and so that different structures
+(state trie, transaction tree, MB-tree, inverted index...) live in
+disjoint hash domains.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Size in bytes of every digest in the library.
+HASH_SIZE = 32
+
+#: A digest is always exactly ``HASH_SIZE`` bytes.
+Digest = bytes
+
+#: Digest of the empty input; used as the canonical "nothing" commitment.
+EMPTY_DIGEST: Digest = hashlib.sha256(b"").digest()
+
+_LEAF_TAG = b"\x00"
+_NODE_TAG = b"\x01"
+
+
+def sha256(data: bytes) -> Digest:
+    """Hash ``data`` with SHA-256 and return the 32-byte digest."""
+    return hashlib.sha256(data).digest()
+
+
+def tagged_hash(tag: str, data: bytes) -> Digest:
+    """Hash ``data`` in the domain named by ``tag``.
+
+    Uses the BIP-340 style ``H(H(tag) || H(tag) || data)`` construction so
+    that digests from different domains can never collide by accident.
+    """
+    tag_digest = sha256(tag.encode("utf-8"))
+    return sha256(tag_digest + tag_digest + data)
+
+
+def hash_leaf(data: bytes) -> Digest:
+    """Hash a Merkle leaf (domain-separated from internal nodes)."""
+    return sha256(_LEAF_TAG + data)
+
+
+def hash_node(left: Digest, right: Digest) -> Digest:
+    """Hash an internal Merkle node from its two children."""
+    return sha256(_NODE_TAG + left + right)
+
+
+def hash_concat(*parts: bytes) -> Digest:
+    """Hash the length-prefixed concatenation of ``parts``.
+
+    Length prefixes make the encoding injective: ``hash_concat(b"ab", b"c")``
+    and ``hash_concat(b"a", b"bc")`` produce different digests.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(len(part).to_bytes(8, "big"))
+        hasher.update(part)
+    return hasher.digest()

@@ -1,0 +1,58 @@
+"""Exception hierarchy shared across the DCert reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch library failures without catching programming errors.  Verification
+failures deliberately carry a human-readable reason: in the paper's threat
+model the CI and SP are untrusted, so "why did verification fail" is part
+of the observable behaviour that tests assert on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key, malformed signature...)."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify."""
+
+
+class ProofError(ReproError):
+    """An authenticated-structure proof failed to verify."""
+
+
+class StateError(ReproError):
+    """Blockchain state is inconsistent with what a block commits to."""
+
+
+class ConsensusError(ReproError):
+    """A consensus rule was violated (difficulty, chain selection...)."""
+
+
+class BlockValidationError(ReproError):
+    """A block failed structural or semantic validation."""
+
+
+class TransactionError(ReproError):
+    """A transaction is malformed, unauthorized, or failed to execute."""
+
+
+class EnclaveError(ReproError):
+    """The (simulated) SGX enclave rejected an operation."""
+
+
+class AttestationError(EnclaveError):
+    """Remote attestation failed (bad quote, wrong measurement...)."""
+
+
+class CertificateError(ReproError):
+    """A DCert certificate failed construction or verification."""
+
+
+class QueryError(ReproError):
+    """A verifiable query failed processing or result verification."""

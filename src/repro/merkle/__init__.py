@@ -1,0 +1,79 @@
+"""Authenticated data structures used throughout DCert.
+
+The paper's certification and query layers are built on a family of
+Merkle structures, each reproduced here from scratch:
+
+* :mod:`repro.merkle.mht` — the classic binary Merkle Hash Tree, used for
+  block transaction roots (Fig. 1 of the paper).
+* :mod:`repro.merkle.smt` — a sparse Merkle tree over a fixed keyspace,
+  used for the global state commitment.  It supports *compressed* proofs
+  and batched updates, which keep the stateless-enclave design (§4.1)
+  practical.
+* :mod:`repro.merkle.partial` — a partial sparse Merkle tree
+  reconstructed from proofs alone; this is exactly what the enclave uses
+  to verify read sets and recompute the post-block state root without
+  holding the state (Alg. 2, lines 17/22-23).
+* :mod:`repro.merkle.mpt` — a Merkle Patricia Trie, the upper level of
+  the two-level historical-query index (§5.4, Fig. 5).
+* :mod:`repro.merkle.mbtree` — a Merkle B-tree (Li et al., SIGMOD'06),
+  the lower level of the two-level index; supports authenticated range
+  queries with completeness proofs.
+* :mod:`repro.merkle.skiplist` — an authenticated deterministic skip
+  list, the LineageChain baseline index.
+* :mod:`repro.merkle.mmr` — a Merkle Mountain Range, used by the
+  FlyClient-style baseline client (related-work extension).
+* :mod:`repro.merkle.inverted` — a Merkle inverted index for conjunctive
+  keyword queries over transactions (§5.4, right side of Fig. 5).
+"""
+
+from repro.merkle.aggtree import (
+    Aggregate,
+    AggregateMBTree,
+    AggRangeProof,
+    verify_aggregate,
+)
+from repro.merkle.inverted import (
+    ConjunctiveProof,
+    MerkleInvertedIndex,
+    verify_conjunctive,
+)
+from repro.merkle.mbtree import MBRangeProof, MerkleBTree, verify_range
+from repro.merkle.mht import MembershipProof, MerkleTree, verify_membership
+from repro.merkle.mmr import MerkleMountainRange, MMRProof, verify_mmr
+from repro.merkle.mpt import MerklePatriciaTrie, MPTProof, verify_mpt
+from repro.merkle.partial import PartialSMT
+from repro.merkle.skiplist import (
+    AuthenticatedSkipList,
+    SkipRangeProof,
+    verify_window,
+)
+from repro.merkle.smt import SMTProof, SparseMerkleTree, verify_proof
+
+__all__ = [
+    "AggRangeProof",
+    "Aggregate",
+    "AggregateMBTree",
+    "AuthenticatedSkipList",
+    "ConjunctiveProof",
+    "MBRangeProof",
+    "MMRProof",
+    "MPTProof",
+    "MembershipProof",
+    "MerkleBTree",
+    "MerkleInvertedIndex",
+    "MerkleMountainRange",
+    "MerklePatriciaTrie",
+    "MerkleTree",
+    "PartialSMT",
+    "SMTProof",
+    "SkipRangeProof",
+    "SparseMerkleTree",
+    "verify_aggregate",
+    "verify_conjunctive",
+    "verify_membership",
+    "verify_mmr",
+    "verify_mpt",
+    "verify_proof",
+    "verify_range",
+    "verify_window",
+]

@@ -1,0 +1,211 @@
+"""Merkle inverted index for conjunctive keyword queries.
+
+The right half of the paper's Fig. 5: the SP maintains, per keyword, a
+sorted posting list of transaction ids; DCert certifies the index's root
+digest so superlight clients can run ``[Stock AND Bank]``-style queries
+with integrity (following Goodrich et al.'s authenticated web-crawler
+scheme [12]).
+
+Structure: each keyword's posting list is an MB-tree keyed by tx id; a
+Merkle Patricia Trie maps keyword bytes to the posting tree's root; the
+index commitment is the MPT root.  A conjunctive query proves
+
+1. each keyword's posting root (MPT membership / non-membership),
+2. the *complete* posting list of the rarest keyword (full-range MB
+   proof), and
+3. per candidate id, membership or absence in every other keyword's
+   tree (point-range MB proofs),
+
+so tampering with or withholding any result id is detectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import Digest
+from repro.errors import QueryError
+from repro.merkle.mbtree import MBRangeProof, MerkleBTree, verify_range
+from repro.merkle.mpt import MerklePatriciaTrie, MPTProof, verify_mpt
+
+_FULL_RANGE = (0, (1 << 63) - 1)
+
+
+@dataclass(frozen=True, slots=True)
+class KeywordProof:
+    """Everything proving one keyword's posting tree root."""
+
+    keyword: str
+    posting_root: Digest | None  # None: keyword absent from the dictionary
+    dictionary_proof: MPTProof
+
+    def size_bytes(self) -> int:
+        return len(self.keyword) + 32 + self.dictionary_proof.size_bytes()
+
+
+@dataclass(frozen=True, slots=True)
+class ConjunctiveProof:
+    """Proof for a conjunctive (AND) keyword query."""
+
+    keywords: tuple[str, ...]
+    pivot: str  # the keyword whose full posting list anchors the result
+    keyword_proofs: tuple[KeywordProof, ...]
+    pivot_postings: tuple[int, ...]
+    pivot_proof: MBRangeProof | None
+    # For every pivot id and every non-pivot keyword, a point-range proof
+    # of membership or absence, in (id, keyword) iteration order.
+    membership_proofs: tuple[tuple[int, str, bool, MBRangeProof], ...]
+
+    def size_bytes(self) -> int:
+        total = sum(len(k) for k in self.keywords) + len(self.pivot)
+        total += sum(p.size_bytes() for p in self.keyword_proofs)
+        total += 8 * len(self.pivot_postings)
+        if self.pivot_proof is not None:
+            total += self.pivot_proof.size_bytes()
+        for _, keyword, _, proof in self.membership_proofs:
+            total += 8 + len(keyword) + 1 + proof.size_bytes()
+        return total
+
+
+class MerkleInvertedIndex:
+    """SP-side inverted index: keyword -> authenticated posting list."""
+
+    def __init__(self, fanout: int = 16) -> None:
+        self._fanout = fanout
+        self._postings: dict[str, MerkleBTree] = {}
+        self._dictionary = MerklePatriciaTrie()
+
+    @property
+    def root(self) -> Digest:
+        """Index commitment (what DCert's certificates sign)."""
+        return self._dictionary.root
+
+    def keywords(self) -> list[str]:
+        return sorted(self._postings)
+
+    def add_document(self, tx_id: int, keywords: list[str]) -> None:
+        """Register transaction ``tx_id`` under each keyword."""
+        for keyword in set(keywords):
+            tree = self._postings.get(keyword)
+            if tree is None:
+                tree = MerkleBTree(fanout=self._fanout)
+                self._postings[keyword] = tree
+            tree.insert(tx_id, tx_id.to_bytes(8, "big"))
+            self._dictionary.insert(keyword.encode("utf-8"), tree.root)
+
+    def query_conjunctive(
+        self, keywords: list[str]
+    ) -> tuple[list[int], ConjunctiveProof]:
+        """All tx ids containing *every* keyword, plus an integrity proof."""
+        if not keywords:
+            raise QueryError("conjunctive query needs at least one keyword")
+        unique = sorted(set(keywords))
+        keyword_proofs = []
+        posting_sizes: dict[str, int] = {}
+        for keyword in unique:
+            tree = self._postings.get(keyword)
+            keyword_proofs.append(
+                KeywordProof(
+                    keyword=keyword,
+                    posting_root=tree.root if tree is not None else None,
+                    dictionary_proof=self._dictionary.prove(keyword.encode("utf-8")),
+                )
+            )
+            posting_sizes[keyword] = len(tree) if tree is not None else 0
+        pivot = min(unique, key=lambda k: posting_sizes[k])
+        if posting_sizes[pivot] == 0 and pivot not in self._postings:
+            # Some keyword is absent entirely: result is empty and the
+            # dictionary non-membership proof alone establishes it.
+            return [], ConjunctiveProof(
+                keywords=tuple(unique),
+                pivot=pivot,
+                keyword_proofs=tuple(keyword_proofs),
+                pivot_postings=(),
+                pivot_proof=None,
+                membership_proofs=(),
+            )
+        pivot_tree = self._postings[pivot]
+        pivot_entries, pivot_proof = pivot_tree.range_query(*_FULL_RANGE)
+        pivot_ids = [key for key, _ in pivot_entries]
+        membership_proofs: list[tuple[int, str, bool, MBRangeProof]] = []
+        results = []
+        for tx_id in pivot_ids:
+            in_all = True
+            for keyword in unique:
+                if keyword == pivot:
+                    continue
+                entries, proof = self._postings[keyword].range_query(tx_id, tx_id)
+                present = bool(entries)
+                membership_proofs.append((tx_id, keyword, present, proof))
+                in_all = in_all and present
+            if in_all:
+                results.append(tx_id)
+        return results, ConjunctiveProof(
+            keywords=tuple(unique),
+            pivot=pivot,
+            keyword_proofs=tuple(keyword_proofs),
+            pivot_postings=tuple(pivot_ids),
+            pivot_proof=pivot_proof,
+            membership_proofs=tuple(membership_proofs),
+        )
+
+
+def verify_conjunctive(
+    root: Digest, results: list[int], proof: ConjunctiveProof
+) -> bool:
+    """Verify a conjunctive query answer against the index commitment."""
+    posting_roots: dict[str, Digest | None] = {}
+    for keyword_proof in proof.keyword_proofs:
+        ok = verify_mpt(
+            root,
+            keyword_proof.keyword.encode("utf-8"),
+            keyword_proof.posting_root,
+            keyword_proof.dictionary_proof,
+        )
+        if not ok:
+            return False
+        posting_roots[keyword_proof.keyword] = keyword_proof.posting_root
+    if set(posting_roots) != set(proof.keywords) or proof.pivot not in posting_roots:
+        return False
+
+    pivot_root = posting_roots[proof.pivot]
+    if pivot_root is None:
+        # Absent keyword: the conjunction is provably empty.
+        return not results and not proof.pivot_postings
+    if proof.pivot_proof is None:
+        return False
+    pivot_entries = [(tx_id, tx_id.to_bytes(8, "big")) for tx_id in proof.pivot_postings]
+    if not verify_range(pivot_root, pivot_entries, proof.pivot_proof):
+        return False
+    if (proof.pivot_proof.lo, proof.pivot_proof.hi) != _FULL_RANGE:
+        return False  # pivot list must be complete, not a sub-range
+
+    # Index the point proofs and make sure every (pivot id, keyword)
+    # pair is covered exactly once.
+    point: dict[tuple[int, str], tuple[bool, MBRangeProof]] = {}
+    for tx_id, keyword, present, range_proof in proof.membership_proofs:
+        if (tx_id, keyword) in point:
+            return False
+        point[(tx_id, keyword)] = (present, range_proof)
+    others = [k for k in proof.keywords if k != proof.pivot]
+    expected = []
+    for tx_id in proof.pivot_postings:
+        in_all = True
+        for keyword in others:
+            if (tx_id, keyword) not in point:
+                return False
+            present, range_proof = point[(tx_id, keyword)]
+            posting_root = posting_roots[keyword]
+            if posting_root is None:
+                return False  # absent keyword cannot prove membership
+            entries = [(tx_id, tx_id.to_bytes(8, "big"))] if present else []
+            if (range_proof.lo, range_proof.hi) != (tx_id, tx_id):
+                return False
+            if not verify_range(posting_root, entries, range_proof):
+                return False
+            in_all = in_all and present
+        if in_all:
+            expected.append(tx_id)
+    if len(point) != len(proof.pivot_postings) * len(others):
+        return False
+    return expected == sorted(results)

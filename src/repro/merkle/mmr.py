@@ -1,0 +1,149 @@
+"""Merkle Mountain Range (MMR).
+
+An append-only accumulator over a growing sequence of leaves, used by
+the FlyClient-style baseline client (§8.1 of the paper) to commit to the
+whole header chain: appending is O(log n) amortized, and any historical
+leaf has an O(log n) membership proof against the *bagged* root of the
+current peaks.  We include it as the related-work extension called out
+in DESIGN.md — it lets the bootstrap benchmarks compare DCert not only
+against the traditional light client but also against a logarithmic
+sampling client.
+
+The node layout is the canonical post-order MMR: positions 0..size-1,
+leaves interleaved with parents; a peak exists per set bit of the leaf
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import Digest, hash_concat, hash_leaf, hash_node, sha256
+from repro.errors import ProofError
+
+#: Root of an MMR with no leaves.
+EMPTY_ROOT: Digest = sha256(b"repro-mmr-empty")
+
+
+@dataclass(frozen=True, slots=True)
+class MMRProof:
+    """Membership proof: the sibling path plus the other peaks."""
+
+    leaf_index: int
+    leaf_count: int
+    path: tuple[Digest, ...]  # siblings inside the leaf's mountain
+    peaks_left: tuple[Digest, ...]  # peaks before the leaf's mountain
+    peaks_right: tuple[Digest, ...]  # peaks after it
+
+    def size_bytes(self) -> int:
+        digests = len(self.path) + len(self.peaks_left) + len(self.peaks_right)
+        return 16 + 32 * digests
+
+
+def bag_peaks(peaks: list[Digest]) -> Digest:
+    """Fold the peak digests right-to-left into a single root."""
+    if not peaks:
+        return EMPTY_ROOT
+    root = peaks[-1]
+    for peak in reversed(peaks[:-1]):
+        root = hash_concat(b"mmr-bag", peak, root)
+    return root
+
+
+class MerkleMountainRange:
+    """Append-only MMR over byte-string leaves."""
+
+    def __init__(self) -> None:
+        self._leaf_count = 0
+        # Per-height lists of node digests inside each perfect mountain:
+        # _mountains[i] = (height, levels) where levels[0] is that
+        # mountain's leaves bottom-up.
+        self._mountains: list[list[list[Digest]]] = []
+
+    def __len__(self) -> int:
+        return self._leaf_count
+
+    def append(self, leaf: bytes) -> None:
+        """Append a leaf, merging equal-height mountains."""
+        self._mountains.append([[hash_leaf(leaf)]])
+        self._leaf_count += 1
+        while (
+            len(self._mountains) >= 2
+            and len(self._mountains[-1]) == len(self._mountains[-2])
+        ):
+            right = self._mountains.pop()
+            left = self._mountains.pop()
+            merged = [
+                left_level + right_level
+                for left_level, right_level in zip(left, right)
+            ]
+            # The top level of each mountain has exactly one node.
+            merged.append([hash_node(left[-1][0], right[-1][0])])
+            self._mountains.append(merged)
+
+    @property
+    def peaks(self) -> list[Digest]:
+        return [mountain[-1][0] for mountain in self._mountains]
+
+    @property
+    def root(self) -> Digest:
+        return bag_peaks(self.peaks)
+
+    def prove(self, leaf_index: int) -> MMRProof:
+        """Membership proof for the ``leaf_index``-th appended leaf."""
+        if not 0 <= leaf_index < self._leaf_count:
+            raise ProofError(f"leaf index {leaf_index} out of range")
+        offset = leaf_index
+        for mountain_index, mountain in enumerate(self._mountains):
+            leaves_here = len(mountain[0])
+            if offset < leaves_here:
+                path: list[Digest] = []
+                position = offset
+                for level in mountain[:-1]:
+                    path.append(level[position ^ 1])
+                    position //= 2
+                return MMRProof(
+                    leaf_index=leaf_index,
+                    leaf_count=self._leaf_count,
+                    path=tuple(path),
+                    peaks_left=tuple(
+                        m[-1][0] for m in self._mountains[:mountain_index]
+                    ),
+                    peaks_right=tuple(
+                        m[-1][0] for m in self._mountains[mountain_index + 1 :]
+                    ),
+                )
+            offset -= leaves_here
+        raise ProofError("unreachable")  # pragma: no cover
+
+
+def verify_mmr(root: Digest, leaf: bytes, proof: MMRProof) -> bool:
+    """Verify that ``leaf`` is committed by ``root`` at ``proof.leaf_index``."""
+    digest = hash_leaf(leaf)
+    # Recover the leaf's position inside its mountain from the index and
+    # the peak split implied by the proof shapes.
+    position = proof.leaf_index
+    for peak_height_leaves in _mountain_sizes(proof):
+        if position < peak_height_leaves:
+            break
+        position -= peak_height_leaves
+    for sibling in proof.path:
+        if position % 2 == 0:
+            digest = hash_node(digest, sibling)
+        else:
+            digest = hash_node(sibling, digest)
+        position //= 2
+    peaks = list(proof.peaks_left) + [digest] + list(proof.peaks_right)
+    return bag_peaks(peaks) == root
+
+
+def _mountain_sizes(proof: MMRProof) -> list[int]:
+    """Leaf counts of each mountain, derived from the total leaf count."""
+    sizes = []
+    count = proof.leaf_count
+    bit = 1 << count.bit_length()
+    while bit:
+        if count & bit:
+            sizes.append(bit)
+        bit >>= 1
+    return sizes

@@ -1,0 +1,509 @@
+"""Merkle Patricia Trie with (non-)membership proofs.
+
+The two-level historical-query index of §5.4 (Fig. 5) uses an MPT as its
+upper level: account addresses are the keys, and each value is the root
+digest of that account's lower-level version tree.  The Merkle inverted
+index reuses it as the keyword dictionary.
+
+Keys are navigated nibble-by-nibble.  Three node kinds exist — leaf,
+extension, and 16-way branch — mirroring Ethereum's trie, though node
+encoding/hashing here is the library's own domain-separated scheme
+rather than RLP.  Inserts rebuild only the nodes along the touched path
+(functional style), so digests never go stale.
+
+Proofs are a top-down list of *steps*; two step kinds are terminal
+(a branch the key ends on, or an extension the key diverges from) and
+may only appear last.  Non-membership is proven by exhibiting where the
+search fails: an empty branch slot, a diverging extension, or a leaf for
+a different key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import Digest, hash_concat, sha256
+
+#: Digest standing in for an absent child / empty trie.
+EMPTY_DIGEST: Digest = sha256(b"repro-mpt-empty")
+
+_Nibbles = tuple[int, ...]
+
+
+def _to_nibbles(key: bytes) -> _Nibbles:
+    nibbles: list[int] = []
+    for byte in key:
+        nibbles.append(byte >> 4)
+        nibbles.append(byte & 0xF)
+    return tuple(nibbles)
+
+
+def _nibbles_bytes(path: _Nibbles) -> bytes:
+    return bytes(path)
+
+
+def _common_prefix(a: _Nibbles, b: _Nibbles) -> int:
+    length = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        length += 1
+    return length
+
+
+def _leaf_digest(path: _Nibbles, value: bytes) -> Digest:
+    return hash_concat(b"mpt-leaf", _nibbles_bytes(path), value)
+
+
+def _ext_digest(path: _Nibbles, child: Digest) -> Digest:
+    return hash_concat(b"mpt-ext", _nibbles_bytes(path), child)
+
+
+def _branch_digest(children: list[Digest], value: bytes | None) -> Digest:
+    return hash_concat(
+        b"mpt-branch", *children, value if value is not None else b""
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class _Leaf:
+    path: _Nibbles
+    value: bytes
+
+    def digest(self) -> Digest:
+        return _leaf_digest(self.path, self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class _Extension:
+    path: _Nibbles
+    child: "_Branch"
+
+    def digest(self) -> Digest:
+        return _ext_digest(self.path, self.child.digest())
+
+
+class _Branch:
+    """16-way branch; the digest is cached since children are immutable."""
+
+    __slots__ = ("children", "value", "_digest")
+
+    def __init__(self, children: list["_Node | None"], value: bytes | None) -> None:
+        self.children = children
+        self.value = value
+        self._digest: Digest | None = None
+
+    def child_digests(self) -> list[Digest]:
+        return [
+            child.digest() if child is not None else EMPTY_DIGEST
+            for child in self.children
+        ]
+
+    def digest(self) -> Digest:
+        if self._digest is None:
+            self._digest = _branch_digest(self.child_digests(), self.value)
+        return self._digest
+
+
+_Node = _Leaf | _Extension | _Branch
+
+
+# -- proof steps -----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BranchStep:
+    """A branch the search descended through (non-terminal)."""
+
+    taken: int
+    sibling_digests: tuple[Digest, ...]  # the other 15 children, in order
+    value: bytes | None
+
+
+@dataclass(frozen=True, slots=True)
+class TerminalBranchStep:
+    """A branch the key ends exactly on (terminal)."""
+
+    child_digests: tuple[Digest, ...]  # all 16
+    value: bytes | None
+
+
+@dataclass(frozen=True, slots=True)
+class ExtensionStep:
+    """An extension whose compressed path the key follows (non-terminal)."""
+
+    path: _Nibbles
+
+
+@dataclass(frozen=True, slots=True)
+class DivergedExtensionStep:
+    """An extension whose compressed path the key diverges from (terminal)."""
+
+    path: _Nibbles
+    child_digest: Digest
+
+
+_Step = BranchStep | TerminalBranchStep | ExtensionStep | DivergedExtensionStep
+
+
+@dataclass(frozen=True, slots=True)
+class MPTProof:
+    """(Non-)membership proof for one key: the search path, top-down."""
+
+    key: bytes
+    steps: tuple[_Step, ...]
+    terminal_leaf: tuple[_Nibbles, bytes] | None
+
+    def size_bytes(self) -> int:
+        total = len(self.key)
+        for step in self.steps:
+            if isinstance(step, BranchStep):
+                total += 1 + 32 * 15 + (len(step.value) if step.value else 0)
+            elif isinstance(step, TerminalBranchStep):
+                total += 32 * 16 + (len(step.value) if step.value else 0)
+            elif isinstance(step, ExtensionStep):
+                total += len(step.path)
+            else:
+                total += len(step.path) + 32
+        if self.terminal_leaf is not None:
+            total += len(self.terminal_leaf[0]) + len(self.terminal_leaf[1])
+        return total
+
+
+class MerklePatriciaTrie:
+    """Mutable MPT mapping byte keys to byte values."""
+
+    def __init__(self) -> None:
+        self._root: _Node | None = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def root(self) -> Digest:
+        return self._root.digest() if self._root is not None else EMPTY_DIGEST
+
+    def get(self, key: bytes) -> bytes | None:
+        node = self._root
+        path = _to_nibbles(key)
+        while node is not None:
+            if isinstance(node, _Leaf):
+                return node.value if node.path == path else None
+            if isinstance(node, _Extension):
+                if path[: len(node.path)] != node.path:
+                    return None
+                path = path[len(node.path) :]
+                node = node.child
+                continue
+            if not path:
+                return node.value
+            node, path = node.children[path[0]], path[1:]
+        return None
+
+    def insert(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        if self.get(key) is None:
+            self._size += 1
+        self._root = self._insert(self._root, _to_nibbles(key), value)
+
+    def prove(self, key: bytes) -> MPTProof:
+        """Build a (non-)membership proof for ``key``."""
+        steps: list[_Step] = []
+        node = self._root
+        path = _to_nibbles(key)
+        terminal: tuple[_Nibbles, bytes] | None = None
+        while node is not None:
+            if isinstance(node, _Leaf):
+                terminal = (node.path, node.value)
+                break
+            if isinstance(node, _Extension):
+                if path[: len(node.path)] != node.path:
+                    steps.append(
+                        DivergedExtensionStep(node.path, node.child.digest())
+                    )
+                    break
+                steps.append(ExtensionStep(node.path))
+                path = path[len(node.path) :]
+                node = node.child
+                continue
+            if not path:
+                steps.append(
+                    TerminalBranchStep(tuple(node.child_digests()), node.value)
+                )
+                break
+            taken = path[0]
+            siblings = tuple(
+                digest
+                for index, digest in enumerate(node.child_digests())
+                if index != taken
+            )
+            steps.append(BranchStep(taken, siblings, node.value))
+            node, path = node.children[taken], path[1:]
+        return MPTProof(key=key, steps=tuple(steps), terminal_leaf=terminal)
+
+    # -- internals ---------------------------------------------------------
+
+    def _insert(self, node: _Node | None, path: _Nibbles, value: bytes) -> _Node:
+        if node is None:
+            return _Leaf(path, value)
+        if isinstance(node, _Leaf):
+            return self._split_leaf(node, path, value)
+        if isinstance(node, _Extension):
+            return self._split_extension(node, path, value)
+        return self._insert_branch(node, path, value)
+
+    def _split_leaf(self, node: _Leaf, path: _Nibbles, value: bytes) -> _Node:
+        if node.path == path:
+            return _Leaf(path, value)
+        shared = _common_prefix(node.path, path)
+        branch = self._new_branch(
+            [(node.path[shared:], node.value), (path[shared:], value)]
+        )
+        if shared:
+            return _Extension(path[:shared], branch)
+        return branch
+
+    def _split_extension(self, node: _Extension, path: _Nibbles, value: bytes) -> _Node:
+        shared = _common_prefix(node.path, path)
+        if shared == len(node.path):
+            child = self._insert_branch(node.child, path[shared:], value)
+            return _Extension(node.path, child)
+        children: list[_Node | None] = [None] * 16
+        remainder = node.path[shared + 1 :]
+        inner: _Node = (
+            node.child if not remainder else _Extension(remainder, node.child)
+        )
+        children[node.path[shared]] = inner
+        branch_value: bytes | None = None
+        if shared == len(path):
+            branch_value = value
+        else:
+            children[path[shared]] = _Leaf(path[shared + 1 :], value)
+        branch = _Branch(children, branch_value)
+        if shared:
+            return _Extension(path[:shared], branch)
+        return branch
+
+    def _insert_branch(self, node: _Branch, path: _Nibbles, value: bytes) -> _Branch:
+        children = list(node.children)
+        if not path:
+            return _Branch(children, value)
+        children[path[0]] = self._insert(children[path[0]], path[1:], value)
+        return _Branch(children, node.value)
+
+    def _new_branch(self, leaves: list[tuple[_Nibbles, bytes]]) -> _Branch:
+        children: list[_Node | None] = [None] * 16
+        value: bytes | None = None
+        for path, leaf_value in leaves:
+            if not path:
+                value = leaf_value
+            else:
+                children[path[0]] = self._insert(
+                    children[path[0]], path[1:], leaf_value
+                )
+        return _Branch(children, value)
+
+
+def verify_mpt(root: Digest, key: bytes, value: bytes | None, proof: MPTProof) -> bool:
+    """Verify an :class:`MPTProof` for ``key -> value`` (``None`` = absent)."""
+    if proof.key != key:
+        return False
+    path = _to_nibbles(key)
+
+    # Top-down pass: replay the navigation, determine the claimed value,
+    # and enforce that terminal steps only appear last.
+    cursor = 0
+    claimed: bytes | None = None
+    ended = False
+    for step in proof.steps:
+        if ended:
+            return False
+        if isinstance(step, ExtensionStep):
+            if path[cursor : cursor + len(step.path)] != step.path:
+                return False
+            cursor += len(step.path)
+        elif isinstance(step, DivergedExtensionStep):
+            if path[cursor : cursor + len(step.path)] == step.path:
+                return False  # it does not actually diverge
+            ended = True
+        elif isinstance(step, BranchStep):
+            if len(step.sibling_digests) != 15:
+                return False
+            if cursor >= len(path) or path[cursor] != step.taken:
+                return False
+            cursor += 1
+        else:  # TerminalBranchStep
+            if len(step.child_digests) != 16 or cursor != len(path):
+                return False
+            claimed = step.value
+            ended = True
+
+    if proof.terminal_leaf is not None:
+        if ended:
+            return False
+        leaf_path, leaf_value = proof.terminal_leaf
+        if leaf_path == path[cursor:]:
+            claimed = leaf_value
+
+    if claimed != value:
+        return False
+
+    # Bottom-up pass: recompute the root digest.
+    if proof.terminal_leaf is not None:
+        digest = _leaf_digest(*proof.terminal_leaf)
+    else:
+        digest = EMPTY_DIGEST  # fell off an empty branch slot / empty trie
+    for step in reversed(proof.steps):
+        if isinstance(step, ExtensionStep):
+            digest = _ext_digest(step.path, digest)
+        elif isinstance(step, DivergedExtensionStep):
+            digest = _ext_digest(step.path, step.child_digest)
+        elif isinstance(step, BranchStep):
+            children = list(step.sibling_digests)
+            children.insert(step.taken, digest)
+            digest = _branch_digest(children, step.value)
+        else:
+            digest = _branch_digest(list(step.child_digests), step.value)
+    return digest == root
+
+
+# -- proof-based updates (used inside the enclave) ---------------------------
+#
+# The upper level of DCert's two-level index is an MPT; when a block
+# changes an account's lower-tree root, the enclave must recompute the
+# *new* MPT root from a (non-)membership proof alone.  Every structural
+# case of an MPT insert (value overwrite, leaf split, extension split,
+# empty branch slot, branch value, empty trie) only touches nodes the
+# proof already opens, so the update is a pure function.
+
+
+def apply_update(
+    root: Digest, key: bytes, value: bytes, proof: MPTProof
+) -> Digest:
+    """Pure function: the MPT root after ``insert(key, value)``.
+
+    ``proof`` must be a valid (non-)membership proof for ``key`` against
+    ``root`` (any claimed old value is accepted); raises
+    :class:`ProofError` otherwise.  Mirrors the exact restructuring of
+    :meth:`MerklePatriciaTrie.insert`.
+    """
+    from repro.errors import ProofError
+
+    # The proof must verify for *some* claimed value; recover it.
+    old_value = _claimed_value(key, proof)
+    if not verify_mpt(root, key, old_value, proof):
+        raise ProofError("MPT update proof does not verify")
+
+    path = _to_nibbles(key)
+    cursor = 0
+    for step in proof.steps:
+        if isinstance(step, ExtensionStep):
+            cursor += len(step.path)
+        elif isinstance(step, BranchStep):
+            cursor += 1
+    remaining = path[cursor:]
+
+    # Compute the digest of the rebuilt bottom structure.
+    last = proof.steps[-1] if proof.steps else None
+    if isinstance(last, TerminalBranchStep):
+        digest = _branch_digest(list(last.child_digests), value)
+        steps_above = proof.steps[:-1]
+    elif isinstance(last, DivergedExtensionStep):
+        digest = _split_extension_digest(last, remaining, value)
+        steps_above = proof.steps[:-1]
+    elif proof.terminal_leaf is not None:
+        leaf_path, leaf_value = proof.terminal_leaf
+        if leaf_path == remaining:
+            digest = _leaf_digest(remaining, value)
+        else:
+            digest = _split_leaf_digest(leaf_path, leaf_value, remaining, value)
+        steps_above = proof.steps
+    else:
+        # Fell off an empty branch slot, or the trie was empty.
+        digest = _leaf_digest(remaining, value)
+        steps_above = proof.steps
+
+    for step in reversed(steps_above):
+        if isinstance(step, ExtensionStep):
+            digest = _ext_digest(step.path, digest)
+        elif isinstance(step, BranchStep):
+            children = list(step.sibling_digests)
+            children.insert(step.taken, digest)
+            digest = _branch_digest(children, step.value)
+        else:
+            raise ProofError("terminal step not in terminal position")
+    return digest
+
+
+def _claimed_value(key: bytes, proof: MPTProof) -> bytes | None:
+    """The value the proof claims for ``key`` (None = absent)."""
+    path = _to_nibbles(key)
+    cursor = 0
+    for step in proof.steps:
+        if isinstance(step, ExtensionStep):
+            cursor += len(step.path)
+        elif isinstance(step, BranchStep):
+            cursor += 1
+        elif isinstance(step, TerminalBranchStep):
+            return step.value
+        else:
+            return None  # diverged extension: absent
+    if proof.terminal_leaf is not None:
+        leaf_path, leaf_value = proof.terminal_leaf
+        if leaf_path == path[cursor:]:
+            return leaf_value
+    return None
+
+
+def _split_leaf_digest(
+    leaf_path: _Nibbles, leaf_value: bytes, new_path: _Nibbles, new_value: bytes
+) -> Digest:
+    """Digest after splitting an existing leaf to admit a new key
+    (mirrors ``MerklePatriciaTrie._split_leaf``)."""
+    shared = _common_prefix(leaf_path, new_path)
+    children = [EMPTY_DIGEST] * 16
+    branch_value: bytes | None = None
+    for sub_path, sub_value in ((leaf_path[shared:], leaf_value), (new_path[shared:], new_value)):
+        if not sub_path:
+            branch_value = sub_value
+        else:
+            children[sub_path[0]] = _leaf_digest(sub_path[1:], sub_value)
+    digest = _branch_digest(children, branch_value)
+    if shared:
+        digest = _ext_digest(new_path[:shared], digest)
+    return digest
+
+
+def _split_extension_digest(
+    step: DivergedExtensionStep, new_path: _Nibbles, new_value: bytes
+) -> Digest:
+    """Digest after splitting a diverging extension
+    (mirrors ``MerklePatriciaTrie._split_extension``)."""
+    shared = _common_prefix(step.path, new_path)
+    children = [EMPTY_DIGEST] * 16
+    remainder = step.path[shared + 1 :]
+    inner = (
+        step.child_digest
+        if not remainder
+        else _ext_digest(remainder, step.child_digest)
+    )
+    children[step.path[shared]] = inner
+    branch_value: bytes | None = None
+    if shared == len(new_path):
+        branch_value = new_value
+    else:
+        children[new_path[shared]] = _leaf_digest(new_path[shared + 1 :], new_value)
+    digest = _branch_digest(children, branch_value)
+    if shared:
+        digest = _ext_digest(new_path[:shared], digest)
+    return digest
+
+
+def claimed_value(key: bytes, proof: MPTProof) -> bytes | None:
+    """Public alias: the value a (verified) proof claims for ``key``.
+
+    Only meaningful after ``verify_mpt``/``apply_update`` has checked the
+    proof against a trusted root.
+    """
+    return _claimed_value(key, proof)

@@ -1,0 +1,276 @@
+"""Authenticated deterministic skip list (the LineageChain baseline).
+
+LineageChain (Ruan et al., PVLDB'19) indexes the version history of each
+account with an authenticated deterministic skip list whose *head is the
+latest version*: every element keeps hash-authenticated backward pointers
+at power-of-two distances, and the commitment is the digest of the latest
+element.  A historical query anchors at the head and follows backward
+pointers into the queried time window, so both latency and proof size
+grow with the window's distance from the latest block — exactly the
+behaviour the paper's Fig. 11 contrasts with DCert's MB-tree, whose
+search cost is flat in that distance.
+
+Concretely, element ``i`` (0-based append order) carries one pointer per
+level ``l`` with ``2^l | i``, pointing to element ``i - 2^l``; its digest
+folds in its key, value digest, and the digests of all its pointers.
+Appending therefore never rewrites history (old digests are immutable),
+which is what makes the structure cheap for the SP to maintain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import Digest, hash_concat, sha256
+from repro.errors import ProofError
+
+#: Commitment of an empty skip list.
+EMPTY_ROOT: Digest = sha256(b"repro-asl-empty")
+
+
+def pointer_levels(index: int) -> list[int]:
+    """Levels at which element ``index`` has backward pointers."""
+    if index == 0:
+        return []
+    levels = [0]
+    level = 1
+    while index % (1 << level) == 0:
+        levels.append(level)
+        level += 1
+    return levels
+
+
+def _element_digest(
+    index: int, key: int, value_digest: Digest, pointer_digests: list[Digest]
+) -> Digest:
+    parts = [b"asl-elem", index.to_bytes(8, "big"), key.to_bytes(8, "big"), value_digest]
+    parts.extend(pointer_digests)
+    return hash_concat(*parts)
+
+
+@dataclass(frozen=True, slots=True)
+class _Element:
+    index: int
+    key: int
+    value: bytes
+    digest: Digest
+    pointer_digests: tuple[Digest, ...]  # one per level in pointer_levels()
+
+
+@dataclass(frozen=True, slots=True)
+class SkipStep:
+    """One element on the traversal path.
+
+    ``followed_level`` is the pointer level the traversal continued
+    through (-1 when this is the final element).  The digests of all
+    *other* pointers are carried so the verifier can recompute the
+    element's digest; the followed pointer's digest is recomputed
+    recursively from the next step.
+    """
+
+    index: int
+    key: int
+    value: bytes | None  # payload shipped only for in-window elements
+    value_digest: Digest | None  # for out-of-window elements
+    followed_level: int
+    other_pointer_digests: tuple[Digest, ...]
+
+    def size_bytes(self) -> int:
+        total = 8 + 8 + 1 + 32 * len(self.other_pointer_digests)
+        total += len(self.value) if self.value is not None else 32
+        return total
+
+
+@dataclass(frozen=True, slots=True)
+class SkipRangeProof:
+    """Authenticated answer to a window query ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+    length: int  # number of elements in the list (authenticates the head)
+    steps: tuple[SkipStep, ...]
+
+    def size_bytes(self) -> int:
+        return 24 + sum(step.size_bytes() for step in self.steps)
+
+
+class AuthenticatedSkipList:
+    """Append-only authenticated skip list keyed by increasing integers."""
+
+    def __init__(self) -> None:
+        self._elements: list[_Element] = []
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    @property
+    def root(self) -> Digest:
+        """Commitment: the digest of the latest element (the head)."""
+        if not self._elements:
+            return EMPTY_ROOT
+        return self._elements[-1].digest
+
+    def append(self, key: int, value: bytes) -> None:
+        """Append a new latest version; ``key`` must strictly increase."""
+        index = len(self._elements)
+        if index and key <= self._elements[-1].key:
+            raise ProofError("skip list keys must strictly increase")
+        pointers = tuple(
+            self._elements[index - (1 << level)].digest
+            for level in pointer_levels(index)
+        )
+        digest = _element_digest(index, key, sha256(value), list(pointers))
+        self._elements.append(
+            _Element(index=index, key=key, value=value, digest=digest, pointer_digests=pointers)
+        )
+
+    def window_query(self, lo: int, hi: int) -> tuple[list[tuple[int, bytes]], SkipRangeProof]:
+        """All ``(key, value)`` with lo <= key <= hi, plus a traversal proof.
+
+        The traversal starts at the head (latest element), greedily takes
+        the largest backward jump that does not overshoot the window's
+        upper bound, then walks element-by-element through the window and
+        one element past it (the completeness boundary).
+        """
+        if lo > hi:
+            raise ProofError("empty range: lo > hi")
+        steps: list[SkipStep] = []
+        results: list[tuple[int, bytes]] = []
+        if not self._elements:
+            return [], SkipRangeProof(lo=lo, hi=hi, length=0, steps=())
+        position = len(self._elements) - 1
+        while True:
+            element = self._elements[position]
+            in_window = lo <= element.key <= hi
+            if in_window:
+                results.append((element.key, element.value))
+            # Decide the next hop.
+            if element.key < lo or position == 0:
+                followed = -1
+            elif element.key > hi:
+                followed = self._jump_level(position, hi)
+            else:
+                followed = 0  # inside the window: single steps for contiguity
+            levels = pointer_levels(element.index)
+            others = tuple(
+                digest
+                for level, digest in zip(levels, element.pointer_digests)
+                if level != followed
+            )
+            steps.append(
+                SkipStep(
+                    index=element.index,
+                    key=element.key,
+                    value=element.value if in_window else None,
+                    value_digest=None if in_window else sha256(element.value),
+                    followed_level=followed,
+                    other_pointer_digests=others,
+                )
+            )
+            if followed == -1:
+                break
+            position = element.index - (1 << followed)
+        results.reverse()
+        return results, SkipRangeProof(
+            lo=lo, hi=hi, length=len(self._elements), steps=tuple(steps)
+        )
+
+    def _jump_level(self, position: int, hi: int) -> int:
+        """Largest pointer level from ``position`` not overshooting keys > hi.
+
+        Overshooting past the window entirely would lose completeness
+        evidence, so a jump is allowed only if the landing element's key
+        is still >= the window upper bound *or* the jump is the smallest
+        one available (level 0 always keeps contiguity... it may land
+        inside or below the window, both handled by the caller).
+        """
+        element = self._elements[position]
+        best = 0
+        for level in pointer_levels(element.index):
+            target = element.index - (1 << level)
+            if self._elements[target].key >= hi:
+                best = level
+        return best
+
+
+def verify_window(
+    root: Digest,
+    results: list[tuple[int, bytes]],
+    proof: SkipRangeProof,
+) -> bool:
+    """Verify a window query answer against the skip list commitment."""
+    if proof.length == 0:
+        return root == EMPTY_ROOT and not results and not proof.steps
+    if not proof.steps:
+        return False
+
+    collected: list[tuple[int, bytes]] = []
+    try:
+        head_digest = _replay(proof, 0, collected)
+    except ProofError:
+        return False
+    if head_digest != root:
+        return False
+    if proof.steps[0].index != proof.length - 1:
+        return False  # traversal must anchor at the head
+    # Completeness: the walk must have reached below the window (or the
+    # genesis element) so nothing older in-window was skipped, and steps
+    # inside the window must be contiguous (level-0 hops), which _replay
+    # enforces.  Nothing newer is skipped because jumps only land on
+    # keys >= hi.
+    last = proof.steps[-1]
+    if last.key >= proof.lo and last.index != 0:
+        return False
+    collected.reverse()
+    return collected == results
+
+
+def _replay(proof: SkipRangeProof, step_index: int, collected: list[tuple[int, bytes]]) -> Digest:
+    """Recompute the digest of the element at ``step_index`` recursively."""
+    step = proof.steps[step_index]
+    levels = pointer_levels(step.index)
+    in_window = proof.lo <= step.key <= proof.hi
+    if in_window:
+        if step.value is None:
+            raise ProofError("in-window element withheld from results")
+        collected.append((step.key, step.value))
+        value_digest = sha256(step.value)
+        if step.followed_level not in (0, -1):
+            raise ProofError("non-contiguous hop inside the window")
+    else:
+        if step.value_digest is None:
+            raise ProofError("out-of-window element missing value digest")
+        value_digest = step.value_digest
+    if step.followed_level == -1:
+        if step_index != len(proof.steps) - 1:
+            raise ProofError("traversal continues past its declared end")
+        if len(step.other_pointer_digests) != len(levels):
+            raise ProofError("pointer digests do not match element shape")
+        return _element_digest(
+            step.index, step.key, value_digest, list(step.other_pointer_digests)
+        )
+    if step.followed_level not in levels:
+        raise ProofError("followed pointer level does not exist")
+    if step_index + 1 >= len(proof.steps):
+        raise ProofError("traversal ends without a terminal step")
+    next_step = proof.steps[step_index + 1]
+    if next_step.index != step.index - (1 << step.followed_level):
+        raise ProofError("next step is not the followed pointer's target")
+    if next_step.key >= step.key:
+        raise ProofError("keys must strictly decrease along the walk")
+    if step.key > proof.hi and step.followed_level > 0 and next_step.key < proof.hi:
+        # A multi-level jump from above the window may only land on a key
+        # still >= hi; otherwise it could have skipped in-window elements
+        # (keys between the landing and the jump origin are unseen).
+        raise ProofError("jump skipped over the query window")
+    followed_digest = _replay(proof, step_index + 1, collected)
+    if len(step.other_pointer_digests) != len(levels) - 1:
+        raise ProofError("pointer digests do not match element shape")
+    pointer_digests: list[Digest] = []
+    other_iter = iter(step.other_pointer_digests)
+    for level in levels:
+        if level == step.followed_level:
+            pointer_digests.append(followed_digest)
+        else:
+            pointer_digests.append(next(other_iter))
+    return _element_digest(step.index, step.key, value_digest, pointer_digests)

@@ -1,0 +1,211 @@
+"""Sparse Merkle tree committing to the blockchain's global state.
+
+The state of the chain (Fig. 1's ``H_state``) is a mapping from 32-byte
+keys to byte-string values.  We commit to it with a fixed-depth sparse
+Merkle tree: every possible key prefix addresses a node, absent subtrees
+hash to a per-level *default digest*, and only non-default nodes are
+stored.  This gives
+
+* O(depth) inserts/updates/deletes,
+* membership **and non-membership** proofs of the same shape, and
+* *compressed* proofs (default siblings are elided with a bitmap), which
+  keeps the update proofs shipped into the enclave small — the property
+  the stateless-enclave design of §4.1 depends on.
+
+``depth`` is configurable.  The default of 64 bits of path (keys are
+hashes, so accidental collisions are negligible at simulation scale) is
+a deliberate speed/security knob for the benchmark harness; security
+tests also run at depth 256 where collisions are cryptographically
+impossible.  A path collision between *distinct* keys raises rather than
+silently corrupting state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import Digest, hash_leaf, hash_node
+from repro.errors import ProofError, StateError
+
+DEFAULT_DEPTH = 64
+
+#: Digest of an empty leaf; defaults[d] is the digest of an empty subtree
+#: whose leaves sit d levels below.
+_EMPTY_LEAF: Digest = hash_leaf(b"repro-smt-empty")
+
+
+def default_digests(depth: int) -> list[Digest]:
+    """Return ``defaults[0..depth]`` for an SMT of the given depth."""
+    defaults = [_EMPTY_LEAF]
+    for _ in range(depth):
+        defaults.append(hash_node(defaults[-1], defaults[-1]))
+    return defaults
+
+
+def leaf_digest(key: bytes, value: bytes) -> Digest:
+    """Digest of an occupied leaf.
+
+    The *full* key is folded in (not just the path bits), so even at
+    truncated depths a forged value under a colliding path cannot verify.
+    """
+    return hash_leaf(b"\x01" + key + value)
+
+
+def key_path(key: bytes, depth: int) -> int:
+    """Map a 32-byte key to its ``depth``-bit path (top bits, big-endian)."""
+    if len(key) != 32:
+        raise StateError("SMT keys must be 32 bytes")
+    return int.from_bytes(key, "big") >> (256 - depth)
+
+
+@dataclass(frozen=True, slots=True)
+class SMTProof:
+    """A (non-)membership proof for one key.
+
+    ``siblings`` lists only the non-default sibling digests bottom-up;
+    ``default_mask`` bit ``k`` (leaf level is bit 0) is set when the
+    sibling at level ``k`` is the default digest and therefore elided.
+    """
+
+    key: bytes
+    depth: int
+    default_mask: int
+    siblings: tuple[Digest, ...]
+
+    def sibling_at(self, level: int, cursor: int) -> tuple[Digest | None, int]:
+        """Internal: sibling digest at ``level`` plus the advanced cursor."""
+        if self.default_mask >> level & 1:
+            return None, cursor
+        return self.siblings[cursor], cursor + 1
+
+    def size_bytes(self) -> int:
+        """Serialized size: key + depth byte + mask bitmap + digests."""
+        return 32 + 1 + (self.depth + 7) // 8 + 32 * len(self.siblings)
+
+
+class SparseMerkleTree:
+    """Mutable sparse Merkle tree with compressed (non-)membership proofs."""
+
+    def __init__(self, depth: int = DEFAULT_DEPTH) -> None:
+        if not 1 <= depth <= 256:
+            raise StateError("SMT depth must be in [1, 256]")
+        self.depth = depth
+        self._defaults = default_digests(depth)
+        self._values: dict[bytes, bytes] = {}
+        self._path_to_key: dict[int, bytes] = {}
+        # Non-default node digests keyed by (level, prefix); level 0 is the
+        # leaf level, level == depth is the root.  ``prefix`` is the path
+        # truncated to ``depth - level`` bits.
+        self._nodes: dict[tuple[int, int], Digest] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._values
+
+    @property
+    def root(self) -> Digest:
+        return self._nodes.get((self.depth, 0), self._defaults[self.depth])
+
+    def get(self, key: bytes) -> bytes | None:
+        """Return the value stored at ``key`` or None."""
+        return self._values.get(key)
+
+    def items(self) -> list[tuple[bytes, bytes]]:
+        """All (key, value) pairs, unordered."""
+        return list(self._values.items())
+
+    def update(self, key: bytes, value: bytes | None) -> None:
+        """Set ``key`` to ``value`` (None deletes), updating path digests."""
+        self._set_leaf(key, value)
+        path = key_path(key, self.depth)
+        self._recompute_path(path)
+
+    def update_batch(self, items: dict[bytes, bytes | None]) -> None:
+        """Apply many writes, recomputing shared internal nodes only once."""
+        dirty = set()
+        for key, value in items.items():
+            self._set_leaf(key, value)
+            dirty.add(key_path(key, self.depth))
+        for level in range(1, self.depth + 1):
+            parents = {path >> 1 for path in dirty}
+            for prefix in parents:
+                self._recompute_node(level, prefix)
+            dirty = parents
+
+    def prove(self, key: bytes) -> SMTProof:
+        """Build a compressed (non-)membership proof for ``key``."""
+        path = key_path(key, self.depth)
+        siblings: list[Digest] = []
+        mask = 0
+        prefix = path
+        for level in range(self.depth):
+            sibling = self._nodes.get((level, prefix ^ 1))
+            if sibling is None:
+                mask |= 1 << level
+            else:
+                siblings.append(sibling)
+            prefix >>= 1
+        return SMTProof(
+            key=key, depth=self.depth, default_mask=mask, siblings=tuple(siblings)
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _set_leaf(self, key: bytes, value: bytes | None) -> None:
+        path = key_path(key, self.depth)
+        holder = self._path_to_key.get(path)
+        if holder is not None and holder != key:
+            raise StateError(
+                "SMT path collision between distinct keys; increase depth"
+            )
+        if value is None:
+            self._values.pop(key, None)
+            self._path_to_key.pop(path, None)
+            self._nodes.pop((0, path), None)
+        else:
+            self._values[key] = value
+            self._path_to_key[path] = key
+            self._nodes[(0, path)] = leaf_digest(key, value)
+
+    def _recompute_path(self, path: int) -> None:
+        prefix = path
+        for level in range(1, self.depth + 1):
+            prefix >>= 1
+            self._recompute_node(level, prefix)
+
+    def _recompute_node(self, level: int, prefix: int) -> None:
+        child_default = self._defaults[level - 1]
+        left = self._nodes.get((level - 1, prefix << 1), child_default)
+        right = self._nodes.get((level - 1, (prefix << 1) | 1), child_default)
+        if left == child_default and right == child_default:
+            self._nodes.pop((level, prefix), None)
+        else:
+            self._nodes[(level, prefix)] = hash_node(left, right)
+
+
+def verify_proof(
+    root: Digest, key: bytes, value: bytes | None, proof: SMTProof
+) -> bool:
+    """Check an :class:`SMTProof` asserting ``key -> value`` under ``root``.
+
+    ``value is None`` verifies *non-membership* (the leaf is empty).
+    """
+    if proof.key != key:
+        return False
+    defaults = default_digests(proof.depth)
+    digest = defaults[0] if value is None else leaf_digest(key, value)
+    path = key_path(key, proof.depth)
+    cursor = 0
+    for level in range(proof.depth):
+        sibling, cursor = proof.sibling_at(level, cursor)
+        if sibling is None:
+            sibling = defaults[level]
+        if path >> level & 1:
+            digest = hash_node(sibling, digest)
+        else:
+            digest = hash_node(digest, sibling)
+    if cursor != len(proof.siblings):
+        raise ProofError("SMT proof has trailing sibling digests")
+    return digest == root

@@ -1,0 +1,19 @@
+"""In-process network simulation.
+
+DCert's certification workflow (Fig. 2, step 3) has the CI *broadcast*
+certificates to the blockchain network, where superlight clients pick
+them up.  This package provides a deterministic in-process message bus
+with a simple latency model, enough to exercise the full
+publish/subscribe path in examples and integration tests without
+sockets.
+"""
+
+from repro.net.bus import MessageBus, NetworkNode
+from repro.net.messages import BlockAnnouncement, CertificateAnnouncement
+
+__all__ = [
+    "BlockAnnouncement",
+    "CertificateAnnouncement",
+    "MessageBus",
+    "NetworkNode",
+]

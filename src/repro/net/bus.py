@@ -1,0 +1,88 @@
+"""A deterministic publish/subscribe message bus with simulated latency.
+
+Delivery order is deterministic: messages are timestamped on a virtual
+clock (publish time + per-link latency) and drained in timestamp order,
+with FIFO tie-breaking.  That makes integration tests over multi-node
+topologies exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import ReproError
+
+Handler = Callable[[object], None]
+
+
+class NetworkNode:
+    """A participant: subscribes to topics, receives messages in order."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._handlers: dict[str, Handler] = {}
+        self.received: list[object] = []
+
+    def on(self, topic: str, handler: Handler) -> None:
+        """Register the handler for one topic (latest registration wins)."""
+        self._handlers[topic] = handler
+
+    def deliver(self, topic: str, message: object) -> None:
+        self.received.append(message)
+        handler = self._handlers.get(topic)
+        if handler is not None:
+            handler(message)
+
+
+class MessageBus:
+    """Connects nodes; routes published messages by topic."""
+
+    def __init__(self, default_latency_ms: float = 50.0) -> None:
+        self.default_latency_ms = default_latency_ms
+        self._nodes: dict[str, NetworkNode] = {}
+        self._subscriptions: dict[str, list[str]] = {}
+        self._latency: dict[tuple[str, str], float] = {}
+        self._queue: list[tuple[float, int, str, str, object]] = []
+        self._sequence = 0
+        self.clock_ms = 0.0
+
+    def join(self, node: NetworkNode) -> NetworkNode:
+        if node.name in self._nodes:
+            raise ReproError(f"node name {node.name!r} already joined")
+        self._nodes[node.name] = node
+        return node
+
+    def subscribe(self, node_name: str, topic: str) -> None:
+        if node_name not in self._nodes:
+            raise ReproError(f"unknown node {node_name!r}")
+        self._subscriptions.setdefault(topic, [])
+        if node_name not in self._subscriptions[topic]:
+            self._subscriptions[topic].append(node_name)
+
+    def set_latency(self, sender: str, receiver: str, latency_ms: float) -> None:
+        self._latency[(sender, receiver)] = latency_ms
+
+    def publish(self, sender: str, topic: str, message: object) -> None:
+        """Enqueue ``message`` for every subscriber of ``topic``."""
+        for receiver in self._subscriptions.get(topic, []):
+            if receiver == sender:
+                continue
+            latency = self._latency.get(
+                (sender, receiver), self.default_latency_ms
+            )
+            self._sequence += 1
+            heapq.heappush(
+                self._queue,
+                (self.clock_ms + latency, self._sequence, receiver, topic, message),
+            )
+
+    def run_until_idle(self) -> int:
+        """Deliver everything (including cascades); returns the count."""
+        delivered = 0
+        while self._queue:
+            at, _, receiver, topic, message = heapq.heappop(self._queue)
+            self.clock_ms = max(self.clock_ms, at)
+            self._nodes[receiver].deliver(topic, message)
+            delivered += 1
+        return delivered

@@ -1,0 +1,34 @@
+"""Message types carried on the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.block import Block, BlockHeader
+from repro.core.certificate import Certificate
+from repro.crypto.hashing import Digest
+
+
+@dataclass(frozen=True, slots=True)
+class BlockAnnouncement:
+    """A miner/full node announcing a new block."""
+
+    block: Block
+
+    @property
+    def topic(self) -> str:
+        return "blocks"
+
+
+@dataclass(frozen=True, slots=True)
+class CertificateAnnouncement:
+    """A CI broadcasting a block (and optionally index) certificate."""
+
+    header: BlockHeader
+    certificate: Certificate
+    index_certificates: dict[str, Certificate] = field(default_factory=dict)
+    index_roots: dict[str, Digest] = field(default_factory=dict)
+
+    @property
+    def topic(self) -> str:
+        return "certificates"

@@ -1,0 +1,58 @@
+"""Verifiable-query layer (§5 of the paper).
+
+The **Service Provider** (SP) maintains authenticated indexes over
+blockchain data and answers queries with integrity proofs; the CI's
+enclave certifies each index's root against the block that produced it
+(augmented / hierarchical certificates); superlight clients verify
+query answers against those certified roots.
+
+* :mod:`indexes` — index *specs*: the deterministic write-data
+  derivation and the pure proof-based root-update function the enclave
+  runs, for both the two-level historical index and the keyword index.
+* :mod:`provider` — the SP: index maintenance and query processing.
+* :mod:`verifier` — client-side result verification.
+* :mod:`lineagechain` — the LineageChain baseline (skip-list lower
+  level), used by the Fig. 11 comparison.
+"""
+
+from repro.query.indexes import (
+    AccountHistoryIndexSpec,
+    AggregateHistoryIndex,
+    AuthenticatedIndexSpec,
+    BalanceAggregateIndexSpec,
+    KeywordIndexSpec,
+    MaintainedKeywordIndex,
+    TwoLevelHistoryIndex,
+    TwoLevelUpdateProof,
+    ValueRangeIndex,
+    ValueRangeIndexSpec,
+)
+from repro.query.lineagechain import LineageChainIndex
+from repro.query.provider import QueryServiceProvider
+from repro.query.verifier import (
+    verify_aggregate_answer,
+    verify_baseline_history_answer,
+    verify_history_answer,
+    verify_keyword_answer,
+)
+from repro.query.indexes import verify_value_range_answer
+
+__all__ = [
+    "AccountHistoryIndexSpec",
+    "AggregateHistoryIndex",
+    "AuthenticatedIndexSpec",
+    "BalanceAggregateIndexSpec",
+    "KeywordIndexSpec",
+    "LineageChainIndex",
+    "MaintainedKeywordIndex",
+    "QueryServiceProvider",
+    "TwoLevelHistoryIndex",
+    "TwoLevelUpdateProof",
+    "ValueRangeIndex",
+    "ValueRangeIndexSpec",
+    "verify_aggregate_answer",
+    "verify_baseline_history_answer",
+    "verify_history_answer",
+    "verify_keyword_answer",
+    "verify_value_range_answer",
+]

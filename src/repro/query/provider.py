@@ -1,0 +1,115 @@
+"""The Query Service Provider (SP) of Fig. 2.
+
+An SP is an untrusted full node that materializes authenticated indexes
+over the chain and serves verifiable queries.  It validates and ingests
+every block (recomputing write sets itself), keeps its indexes in the
+certified shape, and answers queries with integrity proofs that clients
+check against CI-certified index roots.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import Block
+from repro.chain.consensus import ProofOfWork
+from repro.chain.node import FullNode
+from repro.chain.state import StateStore
+from repro.chain.vm import VM
+from repro.errors import QueryError
+from repro.query.indexes import (
+    AggregateAnswer,
+    AggregateHistoryIndex,
+    ValueRangeAnswer,
+    ValueRangeIndex,
+    AuthenticatedIndexSpec,
+    HistoryAnswer,
+    KeywordAnswer,
+    MaintainedKeywordIndex,
+    TwoLevelHistoryIndex,
+)
+from repro.query.lineagechain import LineageChainIndex
+
+
+class QueryServiceProvider:
+    """Maintains authenticated indexes and processes verifiable queries."""
+
+    def __init__(
+        self,
+        genesis: Block,
+        genesis_state: StateStore,
+        vm: VM,
+        pow_engine: ProofOfWork,
+        index_specs: list[AuthenticatedIndexSpec],
+        *,
+        with_lineagechain_baseline: bool = False,
+    ) -> None:
+        from repro.core.issuer import make_maintained_index
+
+        self.node = FullNode(genesis, genesis_state, vm, pow_engine)
+        self.indexes = {
+            spec.name: make_maintained_index(spec) for spec in index_specs
+        }
+        self.baselines: dict[str, LineageChainIndex] = {}
+        if with_lineagechain_baseline:
+            for spec in index_specs:
+                if isinstance(self.indexes[spec.name], TwoLevelHistoryIndex):
+                    self.baselines[spec.name] = LineageChainIndex(spec)
+
+    def ingest_block(self, block: Block) -> None:
+        """Validate ``block``, update every index, and commit it."""
+        result = self.node.validate_block(block)
+        for index in self.indexes.values():
+            index.ingest_block(block, result.write_set)
+        for baseline in self.baselines.values():
+            baseline.ingest_block(block, result.write_set)
+        self.node.state.apply_writes(result.write_set)
+        self.node.blocks.append(block)
+
+    def index_root(self, name: str) -> bytes:
+        return self._index(name).root
+
+    # -- query processing --------------------------------------------------
+
+    def query_history(
+        self, name: str, account: str, t_from: int, t_to: int
+    ) -> HistoryAnswer:
+        index = self._index(name)
+        if not isinstance(index, TwoLevelHistoryIndex):
+            raise QueryError(f"index {name!r} does not support history queries")
+        return index.query_history(account, t_from, t_to)
+
+    def query_history_baseline(
+        self, name: str, account: str, t_from: int, t_to: int
+    ):
+        """The same query over the LineageChain skip-list baseline."""
+        baseline = self.baselines.get(name)
+        if baseline is None:
+            raise QueryError(f"no LineageChain baseline for index {name!r}")
+        return baseline.query_history(account, t_from, t_to)
+
+    def query_aggregate(
+        self, name: str, account: str, t_from: int, t_to: int
+    ) -> AggregateAnswer:
+        index = self._index(name)
+        if not isinstance(index, AggregateHistoryIndex):
+            raise QueryError(f"index {name!r} does not support aggregate queries")
+        return index.query_aggregate(account, t_from, t_to)
+
+    def query_value_range(self, name: str, lo: int, hi: int) -> ValueRangeAnswer:
+        index = self._index(name)
+        if not isinstance(index, ValueRangeIndex):
+            raise QueryError(f"index {name!r} does not support value-range queries")
+        return index.query_range(lo, hi)
+
+    def query_keywords(self, name: str, keywords: list[str]) -> KeywordAnswer:
+        index = self._index(name)
+        if not isinstance(index, MaintainedKeywordIndex):
+            raise QueryError(f"index {name!r} does not support keyword queries")
+        return index.query_conjunctive(keywords)
+
+    # -- internals -----------------------------------------------------------
+
+    def _index(self, name: str):
+        index = self.indexes.get(name)
+        if index is None:
+            raise QueryError(f"unknown index {name!r}")
+        return index

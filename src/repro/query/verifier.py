@@ -1,0 +1,43 @@
+"""Client-side query verification entry points.
+
+Thin, documented aliases over the structure-specific verifiers so that
+application code (and the examples) can import everything it needs to
+check an SP's answers from one place.  The roots these functions take
+must come from validated DCert index certificates — see
+:meth:`repro.core.superlight.SuperlightClient.certified_index_root`.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import Digest
+from repro.query.indexes import (
+    AggregateAnswer,
+    HistoryAnswer,
+    KeywordAnswer,
+    verify_aggregate_answer as _verify_aggregate_answer,
+    verify_history_versions,
+    verify_keyword_results,
+)
+from repro.query.lineagechain import LineageAnswer, verify_lineage_answer
+
+
+def verify_history_answer(certified_root: Digest, answer: HistoryAnswer) -> bool:
+    """Verify a historical account query answer (DCert two-level index)."""
+    return verify_history_versions(certified_root, answer)
+
+
+def verify_keyword_answer(certified_root: Digest, answer: KeywordAnswer) -> bool:
+    """Verify a conjunctive keyword query answer."""
+    return verify_keyword_results(certified_root, answer)
+
+
+def verify_aggregate_answer(certified_root: Digest, answer: AggregateAnswer) -> bool:
+    """Verify a SUM/COUNT/MIN/MAX aggregate answer (aggregate MB-tree)."""
+    return _verify_aggregate_answer(certified_root, answer)
+
+
+def verify_baseline_history_answer(
+    index_root: Digest, answer: LineageAnswer
+) -> bool:
+    """Verify a LineageChain-baseline historical query answer."""
+    return verify_lineage_answer(index_root, answer)

@@ -1,0 +1,120 @@
+"""Remote attestation: quotes and the simulated Intel Attestation Service.
+
+The flow matches §2.2 of the paper:
+
+1. an enclave produces a *quote* — its measurement plus caller-supplied
+   report data (DCert puts ``pk_enc`` there) — signed by the platform's
+   hardware key;
+2. the IAS verifies the hardware signature against its registry of
+   known platforms and issues an *attestation report*, signed with the
+   IAS key;
+3. anyone holding the well-known IAS public key can later verify the
+   report offline — which is what makes DCert certificates cheap to
+   check: the expensive IAS round-trip happens once per enclave, not
+   per block (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import PublicKey, Signature, sign, verify
+from repro.crypto.hashing import Digest, hash_concat
+from repro.crypto.keys import generate_keypair
+from repro.errors import AttestationError
+from repro.sgx.platform import SGXPlatform
+
+_QUOTE_DOMAIN = "sgx-quote"
+_REPORT_DOMAIN = "ias-report"
+
+
+@dataclass(frozen=True, slots=True)
+class Quote:
+    """Hardware-signed evidence of an enclave's identity and user data."""
+
+    measurement: Digest
+    report_data: bytes
+    platform_key: PublicKey
+    signature: Signature
+
+    def signed_payload(self) -> bytes:
+        return hash_concat(self.measurement, self.report_data)
+
+    def verify_hardware_signature(self) -> bool:
+        return verify(
+            self.platform_key, self.signed_payload(), self.signature, _QUOTE_DOMAIN
+        )
+
+
+def sign_quote(platform: SGXPlatform, measurement: Digest, report_data: bytes) -> Quote:
+    """Produce a quote on ``platform`` (simulates EREPORT + quoting enclave)."""
+    payload = hash_concat(measurement, report_data)
+    signature = sign(platform._hardware_private_key, payload, _QUOTE_DOMAIN)
+    return Quote(
+        measurement=measurement,
+        report_data=report_data,
+        platform_key=platform.hardware_public_key,
+        signature=signature,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class AttestationReport:
+    """IAS-signed verdict: this measurement ran with this report data."""
+
+    measurement: Digest
+    report_data: bytes
+    ias_key: PublicKey
+    signature: Signature
+
+    def signed_payload(self) -> bytes:
+        return hash_concat(b"ias-ok", self.measurement, self.report_data)
+
+    def verify(self, expected_ias_key: PublicKey) -> bool:
+        """Check the report is signed by the expected IAS key."""
+        if self.ias_key != expected_ias_key:
+            return False
+        return verify(
+            self.ias_key, self.signed_payload(), self.signature, _REPORT_DOMAIN
+        )
+
+    def size_bytes(self) -> int:
+        """Serialized report size (counted in client storage, Fig. 7a)."""
+        return 32 + len(self.report_data) + 33 + 64
+
+
+class AttestationService:
+    """The simulated IAS: verifies quotes, issues signed reports."""
+
+    def __init__(self, seed: bytes | None = None) -> None:
+        self._key = generate_keypair(
+            b"ias:" + seed if seed is not None else None
+        )
+        self._known_platforms: set[bytes] = set()
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._key.public
+
+    def register_platform(self, platform: SGXPlatform) -> None:
+        """Enroll a platform (EPID group join)."""
+        self._known_platforms.add(platform.hardware_public_key.to_bytes())
+
+    def attest(self, quote: Quote) -> AttestationReport:
+        """Verify a quote and issue the signed attestation report."""
+        if quote.platform_key.to_bytes() not in self._known_platforms:
+            raise AttestationError("quote from an unknown platform")
+        if not quote.verify_hardware_signature():
+            raise AttestationError("quote hardware signature invalid")
+        report_payload = hash_concat(b"ias-ok", quote.measurement, quote.report_data)
+        return AttestationReport(
+            measurement=quote.measurement,
+            report_data=quote.report_data,
+            ias_key=self._key.public,
+            signature=sign(self._key.private, report_payload, _REPORT_DOMAIN),
+        )
+
+
+#: The default, globally trusted IAS instance (deterministic key so that
+#: clients across processes agree on it, like Intel's published certs).
+WELL_KNOWN_IAS = AttestationService(seed=b"well-known")

@@ -1,0 +1,30 @@
+"""A simulated SGX-capable platform (one physical machine).
+
+Each platform owns a hardware-fused attestation key.  Quotes produced
+by enclaves on this platform are signed with it; the (simulated) Intel
+Attestation Service holds the corresponding public keys — standing in
+for EPID group membership — and will only attest quotes from platforms
+it knows.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import KeyPair, generate_keypair
+
+
+class SGXPlatform:
+    """One machine's SGX identity: the hardware attestation key."""
+
+    def __init__(self, seed: bytes | None = None) -> None:
+        self._hardware_key: KeyPair = generate_keypair(
+            b"sgx-platform:" + seed if seed is not None else None
+        )
+
+    @property
+    def hardware_public_key(self):
+        return self._hardware_key.public
+
+    @property
+    def _hardware_private_key(self):
+        """Simulation-internal: only quote generation may touch this."""
+        return self._hardware_key.private

@@ -1,0 +1,123 @@
+"""On-disk chain archive: persist and restore a certified chain.
+
+A production CI must survive restarts: the chain, the certificates it
+issued, and the enclave signing key (sealed — see
+:mod:`repro.sgx.sealing`) all need to outlive the process.  The archive
+is an append-only JSON-lines file — one record per certified block —
+plus a head record carrying the sealed key.  Restoring replays the
+blocks through a fresh :class:`~repro.core.issuer.CertificateIssuer`
+whose enclave unseals the original key, so the restored CI issues
+certificates under the *same* ``pk_enc`` and clients notice nothing.
+
+Certificates are stored as issued (they cannot be re-derived without
+the enclave) and are verified against the replayed chain on load, so a
+tampered archive is rejected rather than trusted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.chain.block import Block, decode_block, encode_block
+from repro.core.certificate import Certificate
+from repro.core.digest import block_digest
+from repro.errors import CertificateError
+
+
+class ChainArchive:
+    """Append-only archive of certified blocks."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def initialize(self, sealed_key: bytes) -> None:
+        """Write the head record (truncates any existing archive)."""
+        head = {"kind": "head", "sealed_key": sealed_key.hex()}
+        self.path.write_text(json.dumps(head, sort_keys=True) + "\n")
+
+    def append(self, block: Block, certificate: Certificate | None) -> None:
+        """Append one certified block."""
+        record = {
+            "kind": "block",
+            "block": encode_block(block).decode("utf-8"),
+            "certificate": (
+                certificate.encode().decode("utf-8")
+                if certificate is not None
+                else None
+            ),
+        }
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def load(self) -> tuple[bytes, list[tuple[Block, Certificate | None]]]:
+        """Read the sealed key and the certified block sequence."""
+        sealed_key: bytes | None = None
+        entries: list[tuple[Block, Certificate | None]] = []
+        with self.path.open() as handle:
+            for line in handle:
+                record = json.loads(line)
+                if record["kind"] == "head":
+                    sealed_key = bytes.fromhex(record["sealed_key"])
+                elif record["kind"] == "block":
+                    block = decode_block(record["block"].encode("utf-8"))
+                    certificate = (
+                        Certificate.decode(record["certificate"].encode("utf-8"))
+                        if record["certificate"] is not None
+                        else None
+                    )
+                    entries.append((block, certificate))
+                else:
+                    raise CertificateError(
+                        f"unknown archive record kind {record['kind']!r}"
+                    )
+        if sealed_key is None:
+            raise CertificateError("archive has no head record")
+        return sealed_key, entries
+
+
+def restore_issuer(
+    archive: ChainArchive,
+    genesis: Block,
+    genesis_state,
+    vm,
+    pow_engine,
+    *,
+    index_specs=None,
+    platform=None,
+    ias=None,
+):
+    """Rebuild a :class:`CertificateIssuer` from an archive.
+
+    The enclave unseals the archived signing key (same platform + same
+    program required), every archived block is re-validated and
+    re-certified during replay, and each archived certificate is checked
+    against the replayed chain — a certificate that does not match its
+    block means the archive was tampered with, and loading fails.
+    """
+    from repro.core.issuer import CertificateIssuer
+    from repro.sgx.attestation import WELL_KNOWN_IAS
+
+    sealed_key, entries = archive.load()
+    issuer = CertificateIssuer(
+        genesis,
+        genesis_state,
+        vm,
+        pow_engine,
+        index_specs=index_specs,
+        platform=platform,
+        ias=ias if ias is not None else WELL_KNOWN_IAS,
+        sealed_key=sealed_key,
+    )
+    for block, certificate in entries:
+        certified = issuer.process_block(block)
+        if certificate is not None:
+            if certificate.dig != block_digest(block.header):
+                raise CertificateError("archived certificate does not match block")
+            if certified.certificate is not None and (
+                certificate.sig != certified.certificate.sig
+            ):
+                raise CertificateError(
+                    "archived certificate was not issued by this enclave key"
+                )
+    return issuer

@@ -1,0 +1,81 @@
+"""FlyClient-style sampling client over the MMR."""
+
+import pytest
+from dataclasses import replace
+
+from repro.baselines.flyclient import FlyClientProver, FlyClientVerifier
+from repro.errors import BlockValidationError
+
+
+@pytest.fixture(scope="module")
+def prover(kv_chain):
+    return FlyClientProver(kv_chain.headers())
+
+
+def test_bootstrap_proof_verifies(prover, kv_chain):
+    proof = prover.bootstrap_proof(seed=1)
+    verifier = FlyClientVerifier(kv_chain.pow)
+    assert verifier.verify(proof)
+    assert verifier.accepted_tip == kv_chain.headers()[-1]
+
+
+def test_sample_count_logarithmic(prover, kv_chain):
+    proof = prover.bootstrap_proof(samples_per_log=2, seed=1)
+    count = len(kv_chain.headers())
+    assert len(proof.samples) <= max(1, 2 * count.bit_length())
+
+
+def test_tampered_sample_rejected(prover, kv_chain):
+    proof = prover.bootstrap_proof(seed=2)
+    header, mmr_proof = proof.samples[0]
+    forged = replace(header, timestamp=header.timestamp + 999)
+    tampered = replace(proof, samples=((forged, mmr_proof),) + proof.samples[1:])
+    assert not FlyClientVerifier(kv_chain.pow).verify(tampered)
+
+
+def test_wrong_mmr_root_rejected(prover, kv_chain):
+    proof = prover.bootstrap_proof(seed=3)
+    tampered = replace(proof, mmr_root=bytes(32))
+    assert not FlyClientVerifier(kv_chain.pow).verify(tampered)
+
+
+def test_append_keeps_proving(prover, kv_chain):
+    import copy
+
+    grower = FlyClientProver(kv_chain.headers()[:5])
+    for header in kv_chain.headers()[5:]:
+        grower.append(header)
+    proof = grower.bootstrap_proof(seed=4)
+    assert FlyClientVerifier(kv_chain.pow).verify(proof)
+
+
+def test_proof_size_sublinear():
+    """At real scales the proof grows ~log^2 while the chain grows
+    linearly: 16x more headers must cost far less than 16x the bytes."""
+    from repro.chain.block import BlockHeader, ZERO_HASH
+
+    def synthetic_headers(count):
+        headers = [
+            BlockHeader(0, ZERO_HASH, 0, 0, bytes(32), bytes(32), 0)
+        ]
+        for height in range(1, count):
+            headers.append(
+                BlockHeader(
+                    height, headers[-1].header_hash(), 0, 0,
+                    bytes(32), bytes(32), height,
+                )
+            )
+        return headers
+
+    small = FlyClientProver(synthetic_headers(64)).bootstrap_proof(
+        samples_per_log=2, seed=5
+    )
+    large = FlyClientProver(synthetic_headers(1024)).bootstrap_proof(
+        samples_per_log=2, seed=5
+    )
+    assert large.size_bytes() < small.size_bytes() * 4  # << 16x
+
+
+def test_empty_chain_rejected():
+    with pytest.raises(BlockValidationError):
+        FlyClientProver([])

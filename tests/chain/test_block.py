@@ -1,0 +1,81 @@
+"""Block headers and blocks: hashing, encoding, tx root binding."""
+
+import pytest
+
+from repro.chain.block import Block, BlockHeader, ZERO_HASH
+from repro.chain.transaction import sign_transaction
+from repro.crypto import generate_keypair
+from repro.errors import BlockValidationError
+
+
+@pytest.fixture(scope="module")
+def header():
+    return BlockHeader(
+        height=5,
+        prev_hash=bytes(range(32)),
+        nonce=123,
+        difficulty_bits=8,
+        state_root=bytes(32),
+        tx_root=bytes(32),
+        timestamp=1_650_000_000,
+    )
+
+
+def test_header_hash_changes_with_every_field(header):
+    base = header.header_hash()
+    variants = [
+        BlockHeader(6, header.prev_hash, 123, 8, header.state_root, header.tx_root, header.timestamp),
+        BlockHeader(5, ZERO_HASH, 123, 8, header.state_root, header.tx_root, header.timestamp),
+        BlockHeader(5, header.prev_hash, 124, 8, header.state_root, header.tx_root, header.timestamp),
+        BlockHeader(5, header.prev_hash, 123, 9, header.state_root, header.tx_root, header.timestamp),
+        BlockHeader(5, header.prev_hash, 123, 8, bytes([1]) + bytes(31), header.tx_root, header.timestamp),
+        BlockHeader(5, header.prev_hash, 123, 8, header.state_root, bytes([1]) + bytes(31), header.timestamp),
+        BlockHeader(5, header.prev_hash, 123, 8, header.state_root, header.tx_root, 1),
+    ]
+    hashes = {variant.header_hash() for variant in variants}
+    assert base not in hashes
+    assert len(hashes) == len(variants)
+
+
+def test_header_encode_decode_roundtrip(header):
+    assert BlockHeader.decode(header.encode()) == header
+
+
+def test_header_decode_rejects_garbage():
+    with pytest.raises(BlockValidationError):
+        BlockHeader.decode(b"nope")
+
+
+def test_header_size_bytes_positive(header):
+    assert header.size_bytes() == len(header.encode()) > 100
+
+
+def test_block_tx_root_binding(header):
+    keypair = generate_keypair(b"block-tests")
+    txs = tuple(
+        sign_transaction(keypair.private, n, "kvstore", "put", (f"k{n}", "v"))
+        for n in range(3)
+    )
+    block = Block(header=header, transactions=txs)
+    good_header = BlockHeader(
+        height=header.height,
+        prev_hash=header.prev_hash,
+        nonce=header.nonce,
+        difficulty_bits=header.difficulty_bits,
+        state_root=header.state_root,
+        tx_root=block.compute_tx_root(),
+        timestamp=header.timestamp,
+    )
+    assert Block(header=good_header, transactions=txs).check_tx_root()
+    assert not Block(header=good_header, transactions=txs[:-1]).check_tx_root()
+    assert not block.check_tx_root()  # zero tx_root
+
+
+def test_empty_block_tx_root():
+    from repro.merkle.mht import EMPTY_ROOT
+
+    block = Block(
+        header=BlockHeader(0, ZERO_HASH, 0, 0, bytes(32), EMPTY_ROOT, 0),
+        transactions=(),
+    )
+    assert block.check_tx_root()

@@ -1,0 +1,64 @@
+"""ChainBuilder and genesis construction."""
+
+import pytest
+
+from repro.chain.builder import ChainBuilder
+from repro.chain.genesis import make_genesis
+from repro.chain.transaction import sign_transaction
+from repro.crypto import generate_keypair
+
+
+def test_genesis_is_deterministic():
+    genesis_a, state_a = make_genesis()
+    genesis_b, state_b = make_genesis()
+    assert genesis_a.header.header_hash() == genesis_b.header.header_hash()
+    assert state_a.root == state_b.root
+
+
+def test_genesis_differs_across_networks():
+    default, _ = make_genesis()
+    other, _ = make_genesis(network="testnet")
+    assert default.header.header_hash() != other.header.header_hash()
+
+
+def test_genesis_shape():
+    genesis, state = make_genesis()
+    assert genesis.header.height == 0
+    assert genesis.transactions == ()
+    assert genesis.header.state_root == state.root
+    assert genesis.check_tx_root()
+
+
+def test_builder_grow_with_factory():
+    keypair = generate_keypair(b"builder-tests")
+    builder = ChainBuilder(difficulty_bits=2)
+    heights_seen = []
+
+    def factory(height):
+        heights_seen.append(height)
+        return [
+            sign_transaction(
+                keypair.private, height, "kvstore", "put", (f"k{height}", "v")
+            )
+        ]
+
+    builder.grow(4, factory)
+    assert builder.height == 4
+    assert heights_seen == [1, 2, 3, 4]
+    assert len(builder.blocks) == 5
+    assert len(builder.results) == 5
+
+
+def test_builder_custom_contracts():
+    from repro.contracts import DoNothing
+
+    builder = ChainBuilder(difficulty_bits=2, contracts=[DoNothing()])
+    assert builder.vm.deployed() == ["donothing"]
+
+
+def test_builder_headers_match_blocks():
+    builder = ChainBuilder(difficulty_bits=2)
+    builder.add_block([])
+    headers = builder.headers()
+    assert [h.height for h in headers] == [0, 1]
+    assert headers[1].prev_hash == headers[0].header_hash()

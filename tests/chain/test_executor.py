@@ -1,0 +1,130 @@
+"""Transaction executor: read/write sets, strict vs miner mode."""
+
+import pytest
+
+from repro.chain.executor import TransactionExecutor
+from repro.chain.state import StateStore, state_key
+from repro.chain.transaction import Transaction, sign_transaction
+from repro.chain.vm import VM
+from repro.contracts import BLOCKBENCH
+from repro.crypto import generate_keypair
+from repro.errors import BlockValidationError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(b"executor-tests")
+
+
+@pytest.fixture()
+def executor():
+    vm = VM()
+    for factory in BLOCKBENCH.values():
+        vm.deploy(factory())
+    return TransactionExecutor(vm)
+
+
+def tx(keypair, nonce, method="put", args=("k", "v"), contract="kvstore"):
+    return sign_transaction(keypair.private, nonce, contract, method, args)
+
+
+def test_execute_collects_write_set(executor, keypair):
+    result = executor.execute(StateStore(), [tx(keypair, 0), tx(keypair, 1, args=("k2", "v2"))])
+    assert len(result.executed) == 2
+    assert state_key("kvstore", "kv:k") in result.write_set
+    assert state_key("kvstore", "kv:k2") in result.write_set
+
+
+def test_read_set_has_pre_state_values_only(executor, keypair):
+    store = StateStore()
+    store.put_raw(state_key("kvstore", "kv:k"), b"old")
+    # tx0 reads k (get), tx1 overwrites it, tx2 reads again (write buffer).
+    txs = [
+        tx(keypair, 0, method="get", args=("k",)),
+        tx(keypair, 1, method="put", args=("k", "new")),
+        tx(keypair, 2, method="get", args=("k",)),
+    ]
+    result = executor.execute(store, txs)
+    assert result.read_set[state_key("kvstore", "kv:k")] == b"old"
+
+
+def test_strict_mode_rejects_bad_signature(executor, keypair):
+    good = tx(keypair, 0)
+    forged = Transaction(
+        sender=good.sender,
+        nonce=99,
+        contract=good.contract,
+        method=good.method,
+        args=good.args,
+        signature=good.signature,
+    )
+    with pytest.raises(BlockValidationError):
+        executor.execute(StateStore(), [forged], strict=True)
+
+
+def test_miner_mode_filters_bad_signature(executor, keypair):
+    good = tx(keypair, 0)
+    forged = Transaction(
+        sender=good.sender,
+        nonce=99,
+        contract=good.contract,
+        method=good.method,
+        args=good.args,
+        signature=good.signature,
+    )
+    result = executor.execute(StateStore(), [forged, good], strict=False)
+    assert result.executed == [good]
+    assert len(result.rejected) == 1
+    assert "signature" in result.rejected[0][1]
+
+
+def test_miner_mode_filters_failing_contract_calls(executor, keypair):
+    failing = tx(keypair, 0, contract="smallbank", method="deposit_checking", args=("ghost", "1"))
+    ok = tx(keypair, 1)
+    result = executor.execute(StateStore(), [failing, ok], strict=False)
+    assert result.executed == [ok]
+    assert len(result.rejected) == 1
+
+
+def test_failed_tx_writes_are_discarded(executor, keypair):
+    """send_payment debits then fails on the unknown destination; the
+    debit must not leak into the write set."""
+    store = StateStore()
+    setup = tx(keypair, 0, contract="smallbank", method="create", args=("alice", "100", "0"))
+    result = executor.execute(store, [setup])
+    store.apply_writes(result.write_set)
+    failing = tx(
+        keypair, 1, contract="smallbank", method="send_payment", args=("alice", "ghost", "10")
+    )
+    result = executor.execute(store, [failing], strict=False)
+    assert result.write_set == {}
+    assert result.executed == []
+
+
+def test_strict_mode_rejects_failing_contract_calls(executor, keypair):
+    failing = tx(keypair, 0, contract="smallbank", method="deposit_checking", args=("ghost", "1"))
+    with pytest.raises(BlockValidationError):
+        executor.execute(StateStore(), [failing], strict=True)
+
+
+def test_skip_signature_verification_flag(executor, keypair):
+    unsigned = Transaction(
+        sender=keypair.public, nonce=0, contract="kvstore", method="put", args=("k", "v")
+    )
+    result = executor.execute(
+        StateStore(), [unsigned], strict=True, verify_signatures=False
+    )
+    assert len(result.executed) == 1
+
+
+def test_execution_is_deterministic(executor, keypair):
+    txs = [tx(keypair, n, args=(f"k{n % 3}", f"v{n}")) for n in range(9)]
+    first = executor.execute(StateStore(), list(txs))
+    second = executor.execute(StateStore(), list(txs))
+    assert first.write_set == second.write_set
+    assert first.read_set == second.read_set
+
+
+def test_empty_batch(executor):
+    result = executor.execute(StateStore(), [])
+    assert result.executed == [] and result.write_set == {}

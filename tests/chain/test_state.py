@@ -1,0 +1,97 @@
+"""State store and tracked views (read/write-set recording)."""
+
+from repro.chain.state import StateStore, TrackedView, state_key
+
+
+def test_state_key_is_stable_and_distinct():
+    assert state_key("kvstore", "kv:a") == state_key("kvstore", "kv:a")
+    assert state_key("kvstore", "kv:a") != state_key("kvstore", "kv:b")
+    assert state_key("kvstore", "kv:a") != state_key("smallbank", "kv:a")
+    assert len(state_key("c", "f")) == 32
+
+
+def test_state_key_injective_on_separator():
+    """contract='a', field='b:c' must differ from contract='a:b', field='c'."""
+    assert state_key("a", "b:c") != state_key("a:b", "c")
+
+
+def test_store_get_put_roundtrip():
+    store = StateStore()
+    key = state_key("kvstore", "kv:x")
+    assert store.get_raw(key) is None
+    store.put_raw(key, b"value")
+    assert store.get_raw(key) == b"value"
+    assert store.get("kvstore", "kv:x") == b"value"
+
+
+def test_apply_writes_batches():
+    store = StateStore()
+    writes = {state_key("c", f"f{i}"): b"v%d" % i for i in range(10)}
+    store.apply_writes(writes)
+    assert len(store) == 10
+    single = StateStore()
+    for key, value in writes.items():
+        single.put_raw(key, value)
+    assert single.root == store.root
+
+
+def test_tracked_view_records_pre_state_reads():
+    store = StateStore()
+    key = state_key("c", "f")
+    store.put_raw(key, b"original")
+    view = TrackedView(store)
+    assert view.get_raw(key) == b"original"
+    assert view.reads == {key: b"original"}
+    assert view.writes == {}
+
+
+def test_tracked_view_read_your_writes():
+    store = StateStore()
+    key = state_key("c", "f")
+    store.put_raw(key, b"original")
+    view = TrackedView(store)
+    view.put_raw(key, b"new")
+    assert view.get_raw(key) == b"new"
+    # The pre-state value was never consulted: not in the read set.
+    assert key not in view.reads
+
+
+def test_tracked_view_records_absent_reads():
+    store = StateStore()
+    key = state_key("c", "missing")
+    view = TrackedView(store)
+    assert view.get_raw(key) is None
+    assert view.reads == {key: None}
+
+
+def test_tracked_view_does_not_touch_backing():
+    store = StateStore()
+    key = state_key("c", "f")
+    view = TrackedView(store)
+    view.put_raw(key, b"buffered")
+    assert store.get_raw(key) is None
+
+
+def test_touched_keys_union():
+    store = StateStore()
+    read_key = state_key("c", "read")
+    write_key = state_key("c", "write")
+    store.put_raw(read_key, b"r")
+    view = TrackedView(store)
+    view.get_raw(read_key)
+    view.put_raw(write_key, b"w")
+    assert set(view.touched_keys()) == {read_key, write_key}
+
+
+def test_tracked_view_accepts_callable_backing():
+    view = TrackedView(lambda key: b"constant")
+    assert view.get_raw(b"\x00" * 32) == b"constant"
+
+
+def test_prove_many_covers_values():
+    store = StateStore()
+    keys = [state_key("c", f"f{i}") for i in range(5)]
+    for index, key in enumerate(keys[:3]):
+        store.put_raw(key, b"v%d" % index)
+    entries = store.prove_many(keys)
+    assert [value for _, value, _ in entries] == [b"v0", b"v1", b"v2", None, None]

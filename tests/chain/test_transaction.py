@@ -1,0 +1,83 @@
+"""Transactions: signing, verification, encoding."""
+
+import pytest
+
+from repro.chain.transaction import Transaction, sign_transaction
+from repro.crypto import generate_keypair
+from repro.errors import TransactionError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(b"tx-tests")
+
+
+@pytest.fixture(scope="module")
+def tx(keypair):
+    return sign_transaction(keypair.private, 7, "kvstore", "put", ("k", "v"))
+
+
+def test_signed_transaction_verifies(tx):
+    assert tx.verify_signature()
+
+
+def test_unsigned_transaction_fails(keypair):
+    unsigned = Transaction(
+        sender=keypair.public, nonce=1, contract="kvstore", method="put", args=("k", "v")
+    )
+    assert not unsigned.verify_signature()
+
+
+def test_tampered_fields_break_signature(tx, keypair):
+    for change in (
+        {"nonce": 8},
+        {"contract": "smallbank"},
+        {"method": "get"},
+        {"args": ("k", "other")},
+    ):
+        fields = {
+            "sender": tx.sender,
+            "nonce": tx.nonce,
+            "contract": tx.contract,
+            "method": tx.method,
+            "args": tx.args,
+            "signature": tx.signature,
+        }
+        fields.update(change)
+        assert not Transaction(**fields).verify_signature(), change
+
+
+def test_signature_not_transferable_between_senders(tx):
+    other = generate_keypair(b"other-sender")
+    stolen = Transaction(
+        sender=other.public,
+        nonce=tx.nonce,
+        contract=tx.contract,
+        method=tx.method,
+        args=tx.args,
+        signature=tx.signature,
+    )
+    assert not stolen.verify_signature()
+
+
+def test_encode_decode_roundtrip(tx):
+    decoded = Transaction.decode(tx.encode())
+    assert decoded == tx
+    assert decoded.verify_signature()
+    assert decoded.tx_hash() == tx.tx_hash()
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(TransactionError):
+        Transaction.decode(b"not json")
+    with pytest.raises(TransactionError):
+        Transaction.decode(b"{}")
+
+
+def test_tx_hash_covers_signature(tx, keypair):
+    resigned = sign_transaction(keypair.private, 8, "kvstore", "put", ("k", "v"))
+    assert resigned.tx_hash() != tx.tx_hash()
+
+
+def test_signing_payload_deterministic(tx):
+    assert tx.signing_payload() == tx.signing_payload()

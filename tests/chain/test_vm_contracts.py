@@ -1,0 +1,231 @@
+"""The contract VM and the five Blockbench contracts."""
+
+import pytest
+
+from repro.chain.state import StateStore, TrackedView
+from repro.chain.vm import VM, ContractContext
+from repro.contracts import BLOCKBENCH, CPUHeavy, DoNothing, IOHeavy, KVStore, SmallBank
+from repro.contracts.cpuheavy import _xorshift_sequence
+from repro.errors import TransactionError
+
+
+@pytest.fixture()
+def vm():
+    vm = VM()
+    for factory in BLOCKBENCH.values():
+        vm.deploy(factory())
+    return vm
+
+
+@pytest.fixture()
+def view():
+    return TrackedView(StateStore())
+
+
+def call(vm, view, contract, method, args, sender="alice"):
+    vm.execute_call(view, contract, method, tuple(args), sender)
+
+
+def ctx_for(view, contract):
+    return ContractContext(contract, view)
+
+
+def test_registry_lists_all_contracts(vm):
+    assert vm.deployed() == ["cpuheavy", "donothing", "ioheavy", "kvstore", "smallbank"]
+
+
+def test_unknown_contract_rejected(vm, view):
+    with pytest.raises(TransactionError):
+        call(vm, view, "nope", "m", ())
+
+
+def test_unnamed_contract_rejected():
+    class Nameless(DoNothing):
+        name = ""
+
+    with pytest.raises(TransactionError):
+        VM().deploy(Nameless())
+
+
+# -- DoNothing ---------------------------------------------------------------
+
+
+def test_donothing_touches_no_state(vm, view):
+    call(vm, view, "donothing", "invoke", ())
+    assert not view.reads and not view.writes
+
+
+def test_donothing_rejects_unknown_method(vm, view):
+    with pytest.raises(TransactionError):
+        call(vm, view, "donothing", "destroy", ())
+
+
+# -- CPUHeavy ----------------------------------------------------------------
+
+
+def test_cpuheavy_sort_is_deterministic(vm):
+    views = [TrackedView(StateStore()) for _ in range(2)]
+    for view in views:
+        call(vm, view, "cpuheavy", "sort", ("100", "7"))
+    assert views[0].writes == views[1].writes
+    assert len(views[0].writes) == 1
+
+
+def test_cpuheavy_quicksort_is_correct():
+    values = _xorshift_sequence(99, 200)
+    assert CPUHeavy()._quicksort(values) == sorted(values)
+
+
+def test_cpuheavy_rejects_bad_args(vm, view):
+    with pytest.raises(TransactionError):
+        call(vm, view, "cpuheavy", "sort", ("100",))
+    with pytest.raises(TransactionError):
+        call(vm, view, "cpuheavy", "sort", ("-5", "1"))
+    with pytest.raises(TransactionError):
+        call(vm, view, "cpuheavy", "sort", ("2000000", "1"))
+
+
+def test_xorshift_depends_on_seed():
+    assert _xorshift_sequence(1, 10) != _xorshift_sequence(2, 10)
+    assert _xorshift_sequence(0, 3) == _xorshift_sequence(0, 3)  # seed 0 ok
+
+
+# -- IOHeavy -----------------------------------------------------------------
+
+
+def test_ioheavy_write_touches_n_cells(vm, view):
+    call(vm, view, "ioheavy", "write", ("10", "0"))
+    assert len(view.writes) == 10
+
+
+def test_ioheavy_scan_reads_n_cells(vm, view):
+    call(vm, view, "ioheavy", "scan", ("10", "0"))
+    assert len(view.reads) == 10
+    assert len(view.writes) == 1  # the scan-result cell
+
+
+def test_ioheavy_mixed_reads_and_writes(vm, view):
+    call(vm, view, "ioheavy", "mixed", ("10", "0"))
+    assert len(view.reads) == 10
+    assert len(view.writes) == 10
+
+
+def test_ioheavy_mixed_increments(vm):
+    store = StateStore()
+    view = TrackedView(store)
+    call(vm, view, "ioheavy", "mixed", ("3", "0"))
+    for key, value in view.writes.items():
+        store.put_raw(key, value)
+    view2 = TrackedView(store)
+    call(vm, view2, "ioheavy", "mixed", ("3", "0"))
+    ctx = ctx_for(view2, "ioheavy")
+    assert ctx.get_int("slot:0") == 2
+
+
+def test_ioheavy_bounds(vm, view):
+    with pytest.raises(TransactionError):
+        call(vm, view, "ioheavy", "write", ("999999", "0"))
+    with pytest.raises(TransactionError):
+        call(vm, view, "ioheavy", "erase", ("1", "0"))
+
+
+# -- KVStore -----------------------------------------------------------------
+
+
+def test_kvstore_put_get_delete(vm):
+    store = StateStore()
+    view = TrackedView(store)
+    call(vm, view, "kvstore", "put", ("name", "dcert"))
+    assert ctx_for(view, "kvstore").get_str("kv:name") == "dcert"
+    call(vm, view, "kvstore", "get", ("name",))
+    assert ctx_for(view, "kvstore").get_str("kv-last-read:alice") == "dcert"
+    call(vm, view, "kvstore", "delete", ("name",))
+    assert ctx_for(view, "kvstore").get("kv:name") is None
+
+
+def test_kvstore_get_missing_records_empty(vm, view):
+    call(vm, view, "kvstore", "get", ("ghost",))
+    assert ctx_for(view, "kvstore").get_str("kv-last-read:alice") == ""
+
+
+def test_kvstore_arg_arity(vm, view):
+    with pytest.raises(TransactionError):
+        call(vm, view, "kvstore", "put", ("only-key",))
+    with pytest.raises(TransactionError):
+        call(vm, view, "kvstore", "get", ())
+
+
+# -- SmallBank ----------------------------------------------------------------
+
+
+@pytest.fixture()
+def bank(vm):
+    store = StateStore()
+    view = TrackedView(store)
+    call(vm, view, "smallbank", "create", ("alice", "100", "50"))
+    call(vm, view, "smallbank", "create", ("bob", "10", "0"))
+    for key, value in view.writes.items():
+        store.put_raw(key, value)
+    return vm, store
+
+
+def balances(store, account):
+    from repro.chain.state import state_key
+
+    def get(field):
+        raw = store.get_raw(state_key("smallbank", f"{field}:{account}"))
+        return int.from_bytes(raw, "big", signed=True) if raw else 0
+
+    return get("checking"), get("savings")
+
+
+def run(bank, method, args):
+    vm, store = bank
+    view = TrackedView(store)
+    call(vm, view, "smallbank", method, args)
+    for key, value in view.writes.items():
+        store.put_raw(key, value)
+
+
+def test_deposit_checking(bank):
+    run(bank, "deposit_checking", ("alice", "25"))
+    assert balances(bank[1], "alice") == (125, 50)
+
+
+def test_send_payment(bank):
+    run(bank, "send_payment", ("alice", "bob", "40"))
+    assert balances(bank[1], "alice")[0] == 60
+    assert balances(bank[1], "bob")[0] == 50
+
+
+def test_send_payment_insufficient_funds(bank):
+    with pytest.raises(TransactionError):
+        run(bank, "send_payment", ("bob", "alice", "999"))
+
+
+def test_transact_savings_floor(bank):
+    run(bank, "transact_savings", ("alice", "-50"))
+    assert balances(bank[1], "alice")[1] == 0
+    with pytest.raises(TransactionError):
+        run(bank, "transact_savings", ("alice", "-1"))
+
+
+def test_write_check_penalty(bank):
+    run(bank, "write_check", ("alice", "200"))  # over total: penalty 1
+    assert balances(bank[1], "alice")[0] == 100 - 200 - 1
+
+
+def test_amalgamate(bank):
+    run(bank, "amalgamate", ("alice", "bob"))
+    assert balances(bank[1], "alice") == (0, 0)
+    assert balances(bank[1], "bob")[0] == 10 + 150
+
+
+def test_unknown_account_rejected(bank):
+    with pytest.raises(TransactionError):
+        run(bank, "deposit_checking", ("charlie", "1"))
+
+
+def test_create_rejects_negative(bank):
+    with pytest.raises(TransactionError):
+        run(bank, "create", ("dave", "-1", "0"))

@@ -1,0 +1,43 @@
+"""Certificate object: serialization and size accounting."""
+
+import pytest
+
+from repro.core.certificate import Certificate
+from repro.errors import CertificateError
+
+
+@pytest.fixture()
+def certificate(certified_setup):
+    return certified_setup["issuer"].certified[-1].certificate
+
+
+def test_encode_decode_roundtrip(certificate):
+    decoded = Certificate.decode(certificate.encode())
+    assert decoded == certificate
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(CertificateError):
+        Certificate.decode(b"junk")
+    with pytest.raises(CertificateError):
+        Certificate.decode(b"{}")
+
+
+def test_size_bytes_matches_encoding(certificate):
+    assert certificate.size_bytes() == len(certificate.encode())
+
+
+def test_certificate_size_is_constant(certified_setup):
+    """Every block's certificate has the same serialized size — the
+    constant-storage claim of Fig. 7a."""
+    sizes = {
+        certified.certificate.size_bytes()
+        for certified in certified_setup["issuer"].certified
+    }
+    assert len(sizes) == 1
+
+
+def test_index_certificates_have_same_shape(certified_setup):
+    certified = certified_setup["issuer"].certified[-1]
+    for cert in certified.index_certificates.values():
+        assert abs(cert.size_bytes() - certified.certificate.size_bytes()) < 16

@@ -1,0 +1,26 @@
+"""Certificate digests: block vs index binding."""
+
+from repro.chain.block import BlockHeader, ZERO_HASH
+from repro.core.digest import block_digest, index_digest
+from repro.crypto.hashing import sha256
+
+
+def header(height=1):
+    return BlockHeader(height, ZERO_HASH, 0, 0, bytes(32), bytes(32), 0)
+
+
+def test_block_digest_is_header_hash():
+    assert block_digest(header()) == header().header_hash()
+
+
+def test_index_digest_binds_both_inputs():
+    root_a, root_b = sha256(b"a"), sha256(b"b")
+    assert index_digest(header(), root_a) != index_digest(header(), root_b)
+    assert index_digest(header(1), root_a) != index_digest(header(2), root_a)
+
+
+def test_block_and_index_digests_are_domain_separated():
+    """An index certificate can never be replayed as a block certificate,
+    even if an adversary controls the index root."""
+    root = sha256(b"adversarial")
+    assert index_digest(header(), root) != block_digest(header())

@@ -1,0 +1,84 @@
+"""The Certificate Issuer: Alg. 1 and the certification schemes."""
+
+import pytest
+
+from repro.core.digest import block_digest, index_digest
+from repro.errors import BlockValidationError
+
+
+def test_every_block_certified(certified_setup):
+    issuer = certified_setup["issuer"]
+    chain = certified_setup["chain"]
+    assert len(issuer.certified) == chain.height
+    for certified, block in zip(issuer.certified, chain.blocks[1:]):
+        assert certified.block is block
+        assert certified.certificate is not None
+        assert certified.certificate.dig == block_digest(block.header)
+
+
+def test_issuer_state_matches_miner_state(certified_setup):
+    assert (
+        certified_setup["issuer"].node.state.root
+        == certified_setup["chain"].state.root
+    )
+
+
+def test_index_certificates_bind_block_and_root(certified_setup):
+    issuer = certified_setup["issuer"]
+    for certified in issuer.certified:
+        for name, cert in certified.index_certificates.items():
+            assert cert.dig == index_digest(
+                certified.block.header, certified.index_roots[name]
+            )
+        for name, cert in certified.augmented_certificates.items():
+            assert cert.dig == index_digest(
+                certified.block.header, certified.index_roots[name]
+            )
+
+
+def test_augmented_and_hierarchical_agree_on_roots(certified_setup):
+    """Both schemes certify the same index root for the same block."""
+    for certified in certified_setup["issuer"].certified:
+        for name in certified.index_certificates:
+            assert (
+                certified.index_certificates[name].dig
+                == certified.augmented_certificates[name].dig
+            )
+
+
+def test_index_roots_track_maintained_indexes(certified_setup):
+    issuer = certified_setup["issuer"]
+    for name, index in issuer.indexes.items():
+        assert issuer.index_root(name) == index.root
+
+
+def test_unknown_scheme_rejected(user_keypair):
+    from repro.chain.builder import ChainBuilder
+    from repro.chain.genesis import make_genesis
+    from repro.chain.transaction import sign_transaction
+    from repro.core.issuer import CertificateIssuer
+    from repro.errors import CertificateError
+    from tests.conftest import fresh_vm
+
+    builder = ChainBuilder(difficulty_bits=4)
+    tx = sign_transaction(user_keypair.private, 0, "kvstore", "put", ("x", "y"))
+    block, _ = builder.add_block([tx])
+    genesis, state = make_genesis()
+    issuer = CertificateIssuer(genesis, state, fresh_vm(), builder.pow)
+    with pytest.raises(CertificateError):
+        issuer.process_block(block, schemes=("quantum",))
+
+
+def test_issuer_rejects_invalid_block(certified_setup):
+    issuer = certified_setup["issuer"]
+    stale = certified_setup["chain"].blocks[1]
+    with pytest.raises(BlockValidationError):
+        issuer.gen_cert(stale)
+
+
+def test_certificates_chain_recursively(certified_setup):
+    """cert_i signs H(hdr_i); the enclave accepted cert_{i-1} en route,
+    so every digest matches its block in order."""
+    issuer = certified_setup["issuer"]
+    for certified, block in zip(issuer.certified, certified_setup["chain"].blocks[1:]):
+        assert certified.certificate.dig == block.header.header_hash()

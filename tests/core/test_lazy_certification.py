@@ -1,0 +1,93 @@
+"""The lazy (Ocall-per-cell) certification path."""
+
+import pytest
+
+from repro.chain.builder import ChainBuilder
+from repro.chain.genesis import make_genesis
+from repro.chain.transaction import sign_transaction
+from repro.core.issuer import (
+    CertificateIssuer,
+    attach_lazy_proof_service,
+    gen_cert_lazy,
+)
+from repro.crypto import generate_keypair
+from repro.errors import EnclaveError, ProofError
+from repro.sgx.attestation import AttestationService
+from tests.conftest import fresh_vm
+
+
+@pytest.fixture()
+def world():
+    keypair = generate_keypair(b"lazy-tests")
+    builder = ChainBuilder(difficulty_bits=4, network="lazynet")
+    nonce = [0]
+
+    def kv(key, value):
+        tx = sign_transaction(keypair.private, nonce[0], "kvstore", "put", (key, value))
+        nonce[0] += 1
+        return tx
+
+    builder.add_block([kv("a", "1"), kv("b", "2")])
+    builder.add_block([kv("a", "3"), kv("c", "4")])
+    genesis, state = make_genesis(network="lazynet")
+    issuer = CertificateIssuer(
+        genesis, state, fresh_vm(), builder.pow,
+        ias=AttestationService(seed=b"lazy-ias"), key_seed=b"lazy-key",
+    )
+    attach_lazy_proof_service(issuer)
+    return builder, issuer
+
+
+def test_lazy_matches_eager_signature(world):
+    """Both paths sign the same digest with the same deterministic
+    nonce, so the signatures are byte-identical."""
+    builder, issuer = world
+    lazy = gen_cert_lazy(issuer, builder.blocks[1])
+    eager, _, _ = issuer.gen_cert(builder.blocks[1])
+    assert lazy.sig == eager.sig
+    assert lazy.dig == eager.dig
+
+
+def test_lazy_pays_per_cell_transitions(world):
+    builder, issuer = world
+    before = issuer.enclave.ledger.ocalls
+    gen_cert_lazy(issuer, builder.blocks[1])
+    fetched = issuer.enclave.ledger.ocalls - before
+    # Block 1 touches cells a and b (reads + writes collapse per cell).
+    assert fetched == 2
+
+
+def test_lazy_without_service_fails():
+    keypair = generate_keypair(b"lazy-tests-2")
+    builder = ChainBuilder(difficulty_bits=4, network="lazynet")
+    builder.add_block(
+        [sign_transaction(keypair.private, 0, "kvstore", "put", ("x", "y"))]
+    )
+    genesis, state = make_genesis(network="lazynet")
+    issuer = CertificateIssuer(
+        genesis, state, fresh_vm(), builder.pow,
+        ias=AttestationService(seed=b"lazy-ias-2"), key_seed=b"lazy-key-2",
+    )
+    with pytest.raises(EnclaveError):
+        gen_cert_lazy(issuer, builder.blocks[1])
+
+
+def test_lazy_rejects_lying_proof_service(world):
+    """A malicious host serving forged values is caught per fetch."""
+    builder, issuer = world
+
+    def lying(key: bytes):
+        return b"forged", issuer.node.state.prove(key)
+
+    issuer.enclave.register_ocall("fetch_state_proof", lying)
+    with pytest.raises(ProofError):
+        gen_cert_lazy(issuer, builder.blocks[1])
+
+
+def test_lazy_chains_across_blocks(world):
+    builder, issuer = world
+    first = gen_cert_lazy(issuer, builder.blocks[1])
+    issuer.process_block(builder.blocks[1])
+    assert issuer.latest_certificate.sig == first.sig
+    second = gen_cert_lazy(issuer, builder.blocks[2])
+    assert second.dig == builder.blocks[2].header.header_hash()

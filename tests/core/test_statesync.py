@@ -1,0 +1,113 @@
+"""Certified state sync: snapshot bootstrap anchored in certificates."""
+
+import pytest
+from dataclasses import replace
+
+from repro.core.statesync import (
+    StateSnapshot,
+    bootstrap_full_node,
+    export_snapshot,
+)
+from repro.core.superlight import SuperlightClient
+from repro.errors import StateError
+from tests.conftest import fresh_vm
+
+
+@pytest.fixture()
+def client(certified_setup):
+    return SuperlightClient(
+        certified_setup["issuer"].measurement, certified_setup["ias"].public_key
+    )
+
+
+@pytest.fixture()
+def tip(certified_setup):
+    return certified_setup["issuer"].certified[-1]
+
+
+@pytest.fixture()
+def snapshot(certified_setup):
+    return export_snapshot(certified_setup["issuer"].node)
+
+
+def test_honest_snapshot_bootstraps(certified_setup, client, tip, snapshot):
+    node = bootstrap_full_node(
+        client, tip.block, tip.certificate, snapshot,
+        fresh_vm(), certified_setup["chain"].pow,
+    )
+    assert node.height == certified_setup["chain"].height
+    assert node.state.root == certified_setup["chain"].state.root
+
+
+def test_bootstrapped_node_extends_the_chain(certified_setup, client, tip, snapshot, user_keypair):
+    """The synced node validates and commits the *next* block like any
+    full node — without ever having replayed history."""
+    from repro.chain.transaction import sign_transaction
+
+    node = bootstrap_full_node(
+        client, tip.block, tip.certificate, snapshot,
+        fresh_vm(), certified_setup["chain"].pow,
+    )
+    # Mine one more block on a scratch copy of the miner's chain.
+    chain = certified_setup["chain"]
+    tx = sign_transaction(user_keypair.private, 777, "kvstore", "put", ("sync", "ok"))
+    import copy
+
+    scratch_state = copy.deepcopy(chain.state)
+    block, _ = chain.miner.make_block(chain.tip.header, scratch_state, [tx])
+    node.append_block(block)
+    assert node.height == tip.block.header.height + 1
+    assert node.state.root == scratch_state.root
+
+
+def test_tampered_snapshot_rejected(certified_setup, client, tip, snapshot):
+    cells = list(snapshot.cells)
+    key, value = cells[0]
+    cells[0] = (key, value + b"!")
+    tampered = StateSnapshot(height=snapshot.height, cells=tuple(cells), depth=snapshot.depth)
+    with pytest.raises(StateError):
+        bootstrap_full_node(
+            client, tip.block, tip.certificate, tampered,
+            fresh_vm(), certified_setup["chain"].pow,
+        )
+
+
+def test_truncated_snapshot_rejected(certified_setup, client, tip, snapshot):
+    truncated = StateSnapshot(
+        height=snapshot.height, cells=snapshot.cells[:-1], depth=snapshot.depth
+    )
+    with pytest.raises(StateError):
+        bootstrap_full_node(
+            client, tip.block, tip.certificate, truncated,
+            fresh_vm(), certified_setup["chain"].pow,
+        )
+
+
+def test_stale_snapshot_rejected(certified_setup, client, tip):
+    """A snapshot from an earlier height has a different root."""
+    from repro.chain.genesis import make_genesis
+    from repro.chain.node import FullNode
+
+    genesis, state = make_genesis()
+    older = FullNode(genesis, state, fresh_vm(), certified_setup["chain"].pow)
+    for block in certified_setup["chain"].blocks[1:-2]:
+        older.append_block(block)
+    stale = export_snapshot(older)
+    with pytest.raises(StateError):
+        bootstrap_full_node(
+            client, tip.block, tip.certificate, stale,
+            fresh_vm(), certified_setup["chain"].pow,
+        )
+
+
+def test_forged_certificate_rejected_before_snapshot_check(
+    certified_setup, client, tip, snapshot
+):
+    from repro.errors import CertificateError
+
+    forged = replace(tip.certificate, dig=bytes(32))
+    with pytest.raises(CertificateError):
+        bootstrap_full_node(
+            client, tip.block, forged, snapshot,
+            fresh_vm(), certified_setup["chain"].pow,
+        )

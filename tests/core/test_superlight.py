@@ -1,0 +1,155 @@
+"""The superlight client: Alg. 3, chain selection, constant costs."""
+
+import pytest
+
+from repro.core.superlight import SuperlightClient, compute_expected_measurement
+from repro.errors import CertificateError
+from tests.conftest import fresh_vm
+
+
+@pytest.fixture()
+def client(certified_setup):
+    setup = certified_setup
+    measurement = compute_expected_measurement(
+        setup["genesis"].header.header_hash(),
+        setup["ias"].public_key,
+        fresh_vm(),
+        setup["chain"].pow.difficulty_bits,
+        setup["specs"],
+    )
+    assert measurement == setup["issuer"].measurement
+    return SuperlightClient(measurement, setup["ias"].public_key)
+
+
+def test_validate_latest_tip(client, certified_setup):
+    tip = certified_setup["issuer"].certified[-1]
+    assert client.validate_chain(tip.block.header, tip.certificate)
+    assert client.latest_header == tip.block.header
+
+
+def test_chain_selection_prefers_height(client, certified_setup):
+    certified = certified_setup["issuer"].certified
+    assert client.validate_chain(certified[-1].block.header, certified[-1].certificate)
+    # An older (but genuinely certified) block loses chain selection.
+    assert not client.validate_chain(
+        certified[0].block.header, certified[0].certificate
+    )
+    assert client.latest_header == certified[-1].block.header
+
+
+def test_storage_is_constant(client, certified_setup):
+    sizes = []
+    for certified in certified_setup["issuer"].certified:
+        client.validate_chain(certified.block.header, certified.certificate)
+        sizes.append(client.storage_bytes())
+    assert max(sizes) - min(sizes) <= 8  # only numeric field widths vary
+
+
+def test_report_checked_once_per_enclave(client, certified_setup):
+    certified = certified_setup["issuer"].certified
+    client.validate_chain(certified[0].block.header, certified[0].certificate)
+    assert len(client._verified_reports) == 1
+    client.validate_chain(certified[1].block.header, certified[1].certificate)
+    assert len(client._verified_reports) == 1
+
+
+def test_index_certificate_adoption(client, certified_setup):
+    certified = certified_setup["issuer"].certified
+    old, new = certified[-2], certified[-1]
+    assert client.validate_index_certificate(
+        "history", new.block.header, new.index_roots["history"],
+        new.index_certificates["history"],
+    )
+    # An older index certificate does not displace a newer root.
+    assert not client.validate_index_certificate(
+        "history", old.block.header, old.index_roots["history"],
+        old.index_certificates["history"],
+    )
+    assert client.certified_index_root("history") == new.index_roots["history"]
+
+
+def test_augmented_certificate_also_validates(client, certified_setup):
+    tip = certified_setup["issuer"].certified[-1]
+    assert client.validate_index_certificate(
+        "keyword", tip.block.header, tip.index_roots["keyword"],
+        tip.augmented_certificates["keyword"],
+    )
+
+
+def test_unknown_index_root_raises(client):
+    with pytest.raises(CertificateError):
+        client.certified_index_root("unheard-of")
+
+
+def test_query_verification_through_client(client, certified_setup):
+    issuer = certified_setup["issuer"]
+    tip = issuer.certified[-1]
+    client.validate_index_certificate(
+        "history", tip.block.header, tip.index_roots["history"],
+        tip.index_certificates["history"],
+    )
+    answer = issuer.indexes["history"].query_history("k1", 1, 10)
+    assert client.verify_history("history", answer)
+
+    client.validate_index_certificate(
+        "keyword", tip.block.header, tip.index_roots["keyword"],
+        tip.index_certificates["keyword"],
+    )
+    keyword_answer = issuer.indexes["keyword"].query_conjunctive(["v1"])
+    assert client.verify_keyword("keyword", keyword_answer)
+
+
+def test_wrong_measurement_rejected(certified_setup):
+    setup = certified_setup
+    client = SuperlightClient(b"\x00" * 32, setup["ias"].public_key)
+    tip = setup["issuer"].certified[-1]
+    with pytest.raises(CertificateError):
+        client.validate_chain(tip.block.header, tip.certificate)
+
+
+def test_wrong_ias_key_rejected(certified_setup):
+    from repro.sgx.attestation import AttestationService
+
+    setup = certified_setup
+    rogue_ias = AttestationService(seed=b"rogue")
+    client = SuperlightClient(setup["issuer"].measurement, rogue_ias.public_key)
+    tip = setup["issuer"].certified[-1]
+    with pytest.raises(CertificateError):
+        client.validate_chain(tip.block.header, tip.certificate)
+
+
+def test_wallet_roundtrip(client, certified_setup):
+    tip = certified_setup["issuer"].certified[-1]
+    client.validate_chain(tip.block.header, tip.certificate)
+    client.validate_index_certificate(
+        "history", tip.block.header, tip.index_roots["history"],
+        tip.index_certificates["history"],
+    )
+    restored = SuperlightClient.from_json(client.to_json())
+    assert restored.latest_header == client.latest_header
+    assert restored.certified_index_root("history") == client.certified_index_root(
+        "history"
+    )
+    assert restored.storage_bytes() == client.storage_bytes()
+
+
+def test_wallet_tamper_rejected(client, certified_setup):
+    import json
+
+    tip = certified_setup["issuer"].certified[-1]
+    client.validate_chain(tip.block.header, tip.certificate)
+    wallet = json.loads(client.to_json())
+    header = json.loads(wallet["header"])
+    header["height"] += 100
+    wallet["header"] = json.dumps(header, sort_keys=True)
+    with pytest.raises(CertificateError):
+        SuperlightClient.from_json(json.dumps(wallet))
+
+
+def test_empty_wallet_roundtrip(certified_setup):
+    client = SuperlightClient(
+        certified_setup["issuer"].measurement, certified_setup["ias"].public_key
+    )
+    restored = SuperlightClient.from_json(client.to_json())
+    assert restored.latest_header is None
+    assert restored.storage_bytes() == 0

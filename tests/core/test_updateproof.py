@@ -1,0 +1,47 @@
+"""Update proofs: building, opening, failure modes."""
+
+import pytest
+
+from repro.chain.state import StateStore, state_key
+from repro.core.updateproof import UpdateProof
+from repro.errors import ProofError
+
+
+@pytest.fixture()
+def store():
+    store = StateStore()
+    for index in range(10):
+        store.put_raw(state_key("c", f"f{index}"), b"v%d" % index)
+    return store
+
+
+def test_build_and_open(store):
+    keys = [state_key("c", "f1"), state_key("c", "f2"), state_key("c", "missing")]
+    proof = UpdateProof.build(store, keys)
+    partial = proof.open(store.root)
+    assert partial.get(keys[0]) == b"v1"
+    assert partial.get(keys[2]) is None
+
+
+def test_read_values(store):
+    keys = [state_key("c", "f1"), state_key("c", "missing")]
+    proof = UpdateProof.build(store, keys)
+    assert proof.read_values() == {keys[0]: b"v1", keys[1]: None}
+
+
+def test_open_against_wrong_root_fails(store):
+    proof = UpdateProof.build(store, [state_key("c", "f1")])
+    store.put_raw(state_key("c", "f1"), b"changed")
+    with pytest.raises(ProofError):
+        proof.open(store.root)
+
+
+def test_empty_proof_cannot_open(store):
+    with pytest.raises(ProofError):
+        UpdateProof(entries=()).open(store.root)
+
+
+def test_size_bytes_counts_entries(store):
+    small = UpdateProof.build(store, [state_key("c", "f1")])
+    large = UpdateProof.build(store, [state_key("c", f"f{i}") for i in range(8)])
+    assert 0 < small.size_bytes() < large.size_bytes()

@@ -1,0 +1,98 @@
+"""secp256k1 group arithmetic and ECDSA sign/verify."""
+
+import pytest
+
+from repro.crypto import ecdsa
+from repro.crypto.hashing import sha256
+from repro.errors import CryptoError, SignatureError
+
+
+def test_generator_is_on_curve():
+    assert ecdsa.is_on_curve(ecdsa.generator())
+
+
+def test_point_addition_identities():
+    g = ecdsa.generator()
+    assert ecdsa.point_add(g, None) == g
+    assert ecdsa.point_add(None, g) == g
+    # P + (-P) = infinity
+    neg = (g[0], ecdsa.P - g[1])
+    assert ecdsa.point_add(g, neg) is None
+
+
+def test_scalar_multiplication_matches_repeated_addition():
+    g = ecdsa.generator()
+    accumulated = None
+    for k in range(1, 8):
+        accumulated = ecdsa.point_add(accumulated, g)
+        assert ecdsa.point_mul(g, k) == accumulated
+
+
+def test_scalar_multiplication_wraps_group_order():
+    g = ecdsa.generator()
+    assert ecdsa.point_mul(g, ecdsa.N) is None
+    assert ecdsa.point_mul(g, ecdsa.N + 5) == ecdsa.point_mul(g, 5)
+
+
+def test_derived_public_point_on_curve():
+    point = ecdsa.derive_public_point(123456789)
+    assert ecdsa.is_on_curve(point)
+
+
+def test_derive_rejects_out_of_range_scalars():
+    with pytest.raises(CryptoError):
+        ecdsa.derive_public_point(0)
+    with pytest.raises(CryptoError):
+        ecdsa.derive_public_point(ecdsa.N)
+
+
+def test_sign_verify_roundtrip():
+    secret = 0xDEADBEEF
+    public = ecdsa.derive_public_point(secret)
+    digest = sha256(b"message")
+    signature = ecdsa.sign_digest(secret, digest)
+    assert ecdsa.verify_digest(public, digest, signature)
+
+
+def test_verify_rejects_wrong_message():
+    secret = 0xDEADBEEF
+    public = ecdsa.derive_public_point(secret)
+    signature = ecdsa.sign_digest(secret, sha256(b"message"))
+    assert not ecdsa.verify_digest(public, sha256(b"other"), signature)
+
+
+def test_verify_rejects_wrong_key():
+    signature = ecdsa.sign_digest(0xDEADBEEF, sha256(b"message"))
+    other_public = ecdsa.derive_public_point(0xCAFEBABE)
+    assert not ecdsa.verify_digest(other_public, sha256(b"message"), signature)
+
+
+def test_signatures_are_deterministic_rfc6979():
+    digest = sha256(b"message")
+    assert ecdsa.sign_digest(42, digest) == ecdsa.sign_digest(42, digest)
+
+
+def test_signatures_are_low_s():
+    for message in (b"a", b"b", b"c", b"d"):
+        _, s = ecdsa.sign_digest(42, sha256(message))
+        assert s <= ecdsa.N // 2
+
+
+def test_verify_rejects_out_of_range_signature_components():
+    public = ecdsa.derive_public_point(42)
+    digest = sha256(b"message")
+    assert not ecdsa.verify_digest(public, digest, (0, 1))
+    assert not ecdsa.verify_digest(public, digest, (1, ecdsa.N))
+
+
+def test_verify_rejects_invalid_public_point():
+    digest = sha256(b"message")
+    with pytest.raises(SignatureError):
+        ecdsa.verify_digest((1, 2), digest, (1, 1))
+
+
+def test_rfc6979_nonce_in_range_and_message_dependent():
+    k1 = ecdsa.rfc6979_nonce(42, sha256(b"m1"))
+    k2 = ecdsa.rfc6979_nonce(42, sha256(b"m2"))
+    assert 1 <= k1 < ecdsa.N
+    assert k1 != k2

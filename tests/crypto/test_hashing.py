@@ -1,0 +1,38 @@
+"""Hashing helpers: domain separation and injectivity."""
+
+from repro.crypto.hashing import (
+    HASH_SIZE,
+    hash_concat,
+    hash_leaf,
+    hash_node,
+    sha256,
+    tagged_hash,
+)
+
+
+def test_sha256_size_and_determinism():
+    digest = sha256(b"hello")
+    assert len(digest) == HASH_SIZE
+    assert digest == sha256(b"hello")
+    assert digest != sha256(b"hellO")
+
+
+def test_tagged_hash_separates_domains():
+    assert tagged_hash("a", b"data") != tagged_hash("b", b"data")
+    assert tagged_hash("a", b"data") != sha256(b"data")
+
+
+def test_leaf_and_node_domains_disjoint():
+    # A leaf whose payload mimics an internal node must not collide.
+    left, right = sha256(b"l"), sha256(b"r")
+    assert hash_leaf(left + right) != hash_node(left, right)
+
+
+def test_hash_concat_is_injective_across_boundaries():
+    assert hash_concat(b"ab", b"c") != hash_concat(b"a", b"bc")
+    assert hash_concat(b"", b"x") != hash_concat(b"x", b"")
+    assert hash_concat() != hash_concat(b"")
+
+
+def test_hash_concat_order_matters():
+    assert hash_concat(b"a", b"b") != hash_concat(b"b", b"a")

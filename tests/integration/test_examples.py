@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Each example's ``main()`` contains its own assertions (verification
+succeeds, tampering is caught), so executing it is a real end-to-end
+check of the public API.  The suite-wide cost-model-disable fixture
+keeps these fast.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "historical_queries",
+        "keyword_search",
+        "aggregate_analytics",
+        "state_sync",
+        "certificate_network",
+    ],
+)
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out  # examples narrate what they demonstrate
+
+
+def test_multi_index_example_runs(capsys):
+    """Separate case: it is the slowest (certifies under both schemes)."""
+    run_example("multi_index_certification")
+    out = capsys.readouterr().out
+    assert "augmented" in out

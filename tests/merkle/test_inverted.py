@@ -1,0 +1,85 @@
+"""Merkle inverted index: conjunctive keyword queries with completeness."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.merkle.inverted import MerkleInvertedIndex, verify_conjunctive
+
+
+@pytest.fixture()
+def index():
+    index = MerkleInvertedIndex()
+    corpus = {
+        1: ["stock", "bank"],
+        2: ["stock"],
+        3: ["bank", "stock", "gold"],
+        4: ["gold"],
+        5: ["stock", "gold"],
+        6: ["bank"],
+    }
+    for tx_id, keywords in corpus.items():
+        index.add_document(tx_id, keywords)
+    return index
+
+
+def test_single_keyword(index):
+    results, proof = index.query_conjunctive(["gold"])
+    assert results == [3, 4, 5]
+    assert verify_conjunctive(index.root, results, proof)
+
+
+def test_two_keyword_conjunction(index):
+    results, proof = index.query_conjunctive(["stock", "bank"])
+    assert results == [1, 3]
+    assert verify_conjunctive(index.root, results, proof)
+
+
+def test_three_keyword_conjunction(index):
+    results, proof = index.query_conjunctive(["stock", "bank", "gold"])
+    assert results == [3]
+    assert verify_conjunctive(index.root, results, proof)
+
+
+def test_absent_keyword_gives_empty_result(index):
+    results, proof = index.query_conjunctive(["stock", "nonexistent"])
+    assert results == []
+    assert verify_conjunctive(index.root, [], proof)
+
+
+def test_verify_rejects_dropped_result(index):
+    results, proof = index.query_conjunctive(["stock", "bank"])
+    assert not verify_conjunctive(index.root, results[:-1], proof)
+
+
+def test_verify_rejects_injected_result(index):
+    results, proof = index.query_conjunctive(["stock", "bank"])
+    assert not verify_conjunctive(index.root, results + [4], proof)
+
+
+def test_verify_rejects_wrong_root(index):
+    results, proof = index.query_conjunctive(["stock", "bank"])
+    other = MerkleInvertedIndex()
+    other.add_document(1, ["stock", "bank"])
+    assert not verify_conjunctive(other.root, results, proof)
+
+
+def test_duplicate_keywords_in_document(index):
+    index.add_document(7, ["stock", "stock", "bank"])
+    results, proof = index.query_conjunctive(["stock", "bank"])
+    assert 7 in results
+    assert verify_conjunctive(index.root, results, proof)
+
+
+def test_empty_query_rejected(index):
+    with pytest.raises(QueryError):
+        index.query_conjunctive([])
+
+
+def test_keywords_listing(index):
+    assert index.keywords() == ["bank", "gold", "stock"]
+
+
+def test_root_changes_with_updates(index):
+    before = index.root
+    index.add_document(99, ["new-term"])
+    assert index.root != before

@@ -1,0 +1,153 @@
+"""Merkle B-tree: range queries with completeness, proof-based inserts."""
+
+import random
+
+import pytest
+
+from repro.errors import ProofError
+from repro.merkle.mbtree import (
+    EMPTY_ROOT,
+    MerkleBTree,
+    apply_insert,
+    verify_range,
+)
+
+
+@pytest.fixture()
+def tree():
+    tree = MerkleBTree(fanout=8)
+    rng = random.Random(5)
+    for key in rng.sample(range(10_000), 300):
+        tree.insert(key, b"value-%d" % key)
+    return tree
+
+
+def expected_range(tree_keys, lo, hi):
+    return sorted((k, b"value-%d" % k) for k in tree_keys if lo <= k <= hi)
+
+
+def test_empty_tree():
+    tree = MerkleBTree()
+    assert tree.root == EMPTY_ROOT
+    results, proof = tree.range_query(0, 100)
+    assert results == []
+    assert verify_range(tree.root, [], proof)
+
+
+def test_get(tree):
+    present = next(k for k in range(10_000) if tree.get(k) is not None)
+    assert tree.get(present) == b"value-%d" % present
+
+
+def test_insert_overwrites(tree):
+    key = next(k for k in range(10_000) if tree.get(k) is not None)
+    size = len(tree)
+    tree.insert(key, b"new")
+    assert tree.get(key) == b"new"
+    assert len(tree) == size
+
+
+def test_range_query_correct_and_complete(tree):
+    results, proof = tree.range_query(2000, 4000)
+    assert verify_range(tree.root, results, proof)
+    all_keys = [k for k in range(10_000) if tree.get(k) is not None]
+    assert results == expected_range(all_keys, 2000, 4000)
+
+
+def test_range_rejects_dropped_result(tree):
+    results, proof = tree.range_query(2000, 4000)
+    assert len(results) > 1
+    assert not verify_range(tree.root, results[:-1], proof)
+    assert not verify_range(tree.root, results[1:], proof)
+
+
+def test_range_rejects_injected_result(tree):
+    results, proof = tree.range_query(2000, 4000)
+    padded = results + [(3999999, b"injected")]
+    assert not verify_range(tree.root, padded, proof)
+
+
+def test_range_rejects_altered_value(tree):
+    results, proof = tree.range_query(2000, 4000)
+    altered = [(results[0][0], b"tampered")] + results[1:]
+    assert not verify_range(tree.root, altered, proof)
+
+
+def test_range_rejects_wrong_root(tree):
+    results, proof = tree.range_query(2000, 4000)
+    other = MerkleBTree(fanout=8)
+    other.insert(1, b"x")
+    assert not verify_range(other.root, results, proof)
+
+
+def test_empty_range_window(tree):
+    # A window between two existing keys.
+    keys = sorted(k for k in range(10_000) if tree.get(k) is not None)
+    gap_lo, gap_hi = None, None
+    for a, b in zip(keys, keys[1:]):
+        if b - a > 2:
+            gap_lo, gap_hi = a + 1, b - 1
+            break
+    assert gap_lo is not None
+    results, proof = tree.range_query(gap_lo, gap_hi)
+    assert results == []
+    assert verify_range(tree.root, [], proof)
+
+
+def test_inverted_range_raises(tree):
+    with pytest.raises(ProofError):
+        tree.range_query(10, 5)
+
+
+@pytest.mark.parametrize("fanout", [4, 8, 16])
+def test_apply_insert_replays_inserts_exactly(fanout):
+    tree = MerkleBTree(fanout=fanout)
+    rng = random.Random(fanout)
+    for key in rng.sample(range(100_000), 200):
+        proof = tree.prove_insert(key)
+        predicted = apply_insert(tree.root, key, b"v%d" % key, proof)
+        tree.insert(key, b"v%d" % key)
+        assert predicted == tree.root
+
+
+def test_apply_insert_empty_tree():
+    tree = MerkleBTree(fanout=8)
+    proof = tree.prove_insert(42)
+    predicted = apply_insert(EMPTY_ROOT, 42, b"first", proof)
+    tree.insert(42, b"first")
+    assert predicted == tree.root
+
+
+def test_apply_insert_overwrite(tree):
+    key = next(k for k in range(10_000) if tree.get(k) is not None)
+    proof = tree.prove_insert(key)
+    predicted = apply_insert(tree.root, key, b"replaced", proof)
+    tree.insert(key, b"replaced")
+    assert predicted == tree.root
+
+
+def test_apply_insert_rejects_wrong_root(tree):
+    proof = tree.prove_insert(77777)
+    with pytest.raises(ProofError):
+        apply_insert(EMPTY_ROOT, 77777, b"x", proof)
+
+
+def test_apply_insert_rejects_tampered_path(tree):
+    from dataclasses import replace
+
+    proof = tree.prove_insert(77777)
+    if proof.path:
+        tampered = replace(proof, path=proof.path[:-1])
+        with pytest.raises(ProofError):
+            apply_insert(tree.root, 77777, b"x", tampered)
+
+
+def test_fanout_minimum_enforced():
+    with pytest.raises(ValueError):
+        MerkleBTree(fanout=2)
+
+
+def test_proof_sizes_scale_with_range(tree):
+    _, narrow = tree.range_query(2000, 2100)
+    _, wide = tree.range_query(0, 9999)
+    assert narrow.size_bytes() < wide.size_bytes()

@@ -1,0 +1,63 @@
+"""Merkle Mountain Range: append-only accumulation and proofs."""
+
+import pytest
+
+from repro.errors import ProofError
+from repro.merkle.mmr import EMPTY_ROOT, MerkleMountainRange, bag_peaks, verify_mmr
+
+
+def test_empty_root():
+    assert MerkleMountainRange().root == EMPTY_ROOT
+    assert bag_peaks([]) == EMPTY_ROOT
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8, 15, 16, 37, 64, 100])
+def test_every_leaf_provable(size):
+    mmr = MerkleMountainRange()
+    for index in range(size):
+        mmr.append(b"leaf-%d" % index)
+    root = mmr.root
+    for index in range(size):
+        proof = mmr.prove(index)
+        assert verify_mmr(root, b"leaf-%d" % index, proof), (size, index)
+
+
+def test_peak_count_matches_popcount():
+    mmr = MerkleMountainRange()
+    for index in range(37):  # 0b100101 -> 3 peaks
+        mmr.append(b"%d" % index)
+    assert len(mmr.peaks) == bin(37).count("1")
+
+
+def test_proof_rejects_wrong_leaf():
+    mmr = MerkleMountainRange()
+    for index in range(20):
+        mmr.append(b"leaf-%d" % index)
+    assert not verify_mmr(mmr.root, b"evil", mmr.prove(5))
+
+
+def test_proof_invalidated_by_append():
+    mmr = MerkleMountainRange()
+    for index in range(10):
+        mmr.append(b"leaf-%d" % index)
+    proof = mmr.prove(3)
+    old_root = mmr.root
+    mmr.append(b"leaf-10")
+    assert not verify_mmr(mmr.root, b"leaf-3", proof)
+    assert verify_mmr(old_root, b"leaf-3", proof)
+
+
+def test_prove_out_of_range():
+    mmr = MerkleMountainRange()
+    mmr.append(b"only")
+    with pytest.raises(ProofError):
+        mmr.prove(1)
+
+
+def test_proof_size_logarithmic():
+    mmr = MerkleMountainRange()
+    for index in range(1024):
+        mmr.append(b"leaf-%d" % index)
+    proof = mmr.prove(500)
+    # path <= 10 siblings + <= ~10 peaks
+    assert proof.size_bytes() < 32 * 25

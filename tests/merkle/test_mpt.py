@@ -1,0 +1,130 @@
+"""Merkle Patricia Trie: inserts, proofs, proof-based updates."""
+
+import pytest
+
+from repro.crypto.hashing import sha256
+from repro.errors import ProofError
+from repro.merkle.mpt import (
+    EMPTY_DIGEST,
+    MerklePatriciaTrie,
+    apply_update,
+    claimed_value,
+    verify_mpt,
+)
+
+
+def k(label: str, width: int = 8) -> bytes:
+    return sha256(label.encode())[:width]
+
+
+@pytest.fixture()
+def trie():
+    trie = MerklePatriciaTrie()
+    for index in range(60):
+        trie.insert(k(f"key{index}"), b"value%d" % index)
+    return trie
+
+
+def test_empty_trie_root():
+    assert MerklePatriciaTrie().root == EMPTY_DIGEST
+
+
+def test_get_after_insert(trie):
+    assert trie.get(k("key3")) == b"value3"
+    assert trie.get(k("nope")) is None
+    assert len(trie) == 60
+
+
+def test_overwrite_changes_root(trie):
+    before = trie.root
+    trie.insert(k("key3"), b"other")
+    assert trie.get(k("key3")) == b"other"
+    assert trie.root != before
+    assert len(trie) == 60  # overwrite, not insert
+
+
+def test_membership_proofs(trie):
+    for index in range(0, 60, 7):
+        key = k(f"key{index}")
+        proof = trie.prove(key)
+        assert verify_mpt(trie.root, key, b"value%d" % index, proof)
+        assert not verify_mpt(trie.root, key, b"forged", proof)
+        assert not verify_mpt(trie.root, key, None, proof)
+
+
+def test_non_membership_proofs(trie):
+    for index in range(20):
+        key = k(f"absent{index}")
+        proof = trie.prove(key)
+        assert verify_mpt(trie.root, key, None, proof)
+        assert not verify_mpt(trie.root, key, b"anything", proof)
+
+
+def test_proof_bound_to_key(trie):
+    proof = trie.prove(k("key1"))
+    assert not verify_mpt(trie.root, k("key2"), b"value1", proof)
+
+
+def test_variable_length_keys():
+    trie = MerklePatriciaTrie()
+    trie.insert(b"\x12", b"short")
+    trie.insert(b"\x12\x34", b"longer")
+    trie.insert(b"\x12\x34\x56", b"longest")
+    assert trie.get(b"\x12\x34") == b"longer"
+    for key, value in ((b"\x12", b"short"), (b"\x12\x34", b"longer")):
+        assert verify_mpt(trie.root, key, value, trie.prove(key))
+    # A key that is a strict prefix of stored keys but absent itself.
+    assert verify_mpt(trie.root, b"\x12\x34\x56\x78", None, trie.prove(b"\x12\x34\x56\x78"))
+
+
+def test_single_leaf_and_divergence():
+    trie = MerklePatriciaTrie()
+    trie.insert(b"\xaa\xbb", b"v")
+    proof = trie.prove(b"\xaa\xcc")
+    assert verify_mpt(trie.root, b"\xaa\xcc", None, proof)
+
+
+def test_empty_trie_non_membership():
+    trie = MerklePatriciaTrie()
+    proof = trie.prove(b"\x01\x02")
+    assert verify_mpt(trie.root, b"\x01\x02", None, proof)
+
+
+def test_apply_update_matches_insert(trie):
+    key = k("brand-new")
+    proof = trie.prove(key)
+    predicted = apply_update(trie.root, key, b"fresh", proof)
+    trie.insert(key, b"fresh")
+    assert predicted == trie.root
+
+
+def test_apply_update_overwrite(trie):
+    key = k("key5")
+    proof = trie.prove(key)
+    predicted = apply_update(trie.root, key, b"overwritten", proof)
+    trie.insert(key, b"overwritten")
+    assert predicted == trie.root
+
+
+def test_apply_update_on_empty_trie():
+    trie = MerklePatriciaTrie()
+    proof = trie.prove(b"\x42\x42")
+    predicted = apply_update(trie.root, b"\x42\x42", b"first", proof)
+    trie.insert(b"\x42\x42", b"first")
+    assert predicted == trie.root
+
+
+def test_apply_update_rejects_bad_proof(trie):
+    key = k("key5")
+    proof = trie.prove(key)
+    with pytest.raises(ProofError):
+        apply_update(EMPTY_DIGEST, key, b"x", proof)
+
+
+def test_claimed_value(trie):
+    assert claimed_value(k("key5"), trie.prove(k("key5"))) == b"value5"
+    assert claimed_value(k("absent"), trie.prove(k("absent"))) is None
+
+
+def test_proof_size_positive(trie):
+    assert trie.prove(k("key5")).size_bytes() > 32

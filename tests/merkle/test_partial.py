@@ -1,0 +1,122 @@
+"""Partial SMT: the enclave's proof-reconstructed state slice."""
+
+import pytest
+
+from repro.crypto.hashing import sha256
+from repro.errors import ProofError
+from repro.merkle.partial import PartialSMT
+from repro.merkle.smt import SparseMerkleTree
+
+
+def k(label: str) -> bytes:
+    return sha256(label.encode())
+
+
+@pytest.fixture()
+def tree():
+    tree = SparseMerkleTree(depth=64)
+    for index in range(30):
+        tree.update(k(f"key{index}"), b"value%d" % index)
+    return tree
+
+
+def entries_for(tree, labels, absent=()):
+    entries = []
+    for label in labels:
+        key = k(label)
+        entries.append((key, tree.get(key), tree.prove(key)))
+    for label in absent:
+        key = k(label)
+        entries.append((key, None, tree.prove(key)))
+    return entries
+
+
+def test_from_proofs_verifies_and_reads(tree):
+    partial = PartialSMT.from_proofs(tree.root, entries_for(tree, ["key1", "key2"]))
+    assert partial.get(k("key1")) == b"value1"
+    assert partial.covers(k("key2"))
+    assert not partial.covers(k("key3"))
+
+
+def test_read_outside_slice_raises(tree):
+    partial = PartialSMT.from_proofs(tree.root, entries_for(tree, ["key1"]))
+    with pytest.raises(ProofError):
+        partial.get(k("key2"))
+
+
+def test_write_outside_slice_raises(tree):
+    partial = PartialSMT.from_proofs(tree.root, entries_for(tree, ["key1"]))
+    with pytest.raises(ProofError):
+        partial.update(k("key2"), b"x")
+
+
+def test_updates_track_the_full_tree(tree):
+    labels = ["key1", "key2", "key3"]
+    partial = PartialSMT.from_proofs(
+        tree.root, entries_for(tree, labels, absent=["fresh"])
+    )
+    partial.update(k("key1"), b"NEW")
+    partial.update(k("fresh"), b"inserted")
+    partial.update(k("key3"), None)  # delete
+    tree.update(k("key1"), b"NEW")
+    tree.update(k("fresh"), b"inserted")
+    tree.update(k("key3"), None)
+    assert partial.root == tree.root
+
+
+def test_update_batch_matches_tree(tree):
+    labels = [f"key{i}" for i in range(10)]
+    partial = PartialSMT.from_proofs(tree.root, entries_for(tree, labels))
+    writes = {k(label): b"w" + label.encode() for label in labels}
+    partial.update_batch(writes)
+    tree.update_batch(dict(writes))
+    assert partial.root == tree.root
+
+
+def test_forged_value_rejected(tree):
+    key = k("key1")
+    proof = tree.prove(key)
+    with pytest.raises(ProofError):
+        PartialSMT.from_proofs(tree.root, [(key, b"forged", proof)])
+
+
+def test_wrong_root_rejected(tree):
+    entries = entries_for(tree, ["key1"])
+    other = SparseMerkleTree(depth=64)
+    other.update(k("x"), b"y")
+    with pytest.raises(ProofError):
+        PartialSMT.from_proofs(other.root, entries)
+
+
+def test_proof_bound_to_key(tree):
+    proof = tree.prove(k("key1"))
+    with pytest.raises(ProofError):
+        PartialSMT.from_proofs(tree.root, [(k("key2"), b"value1", proof)])
+
+
+def test_inconsistent_proofs_rejected(tree):
+    """Two proofs claiming different digests for a shared node."""
+    key = k("key1")
+    good = tree.prove(key)
+    snapshot_root = tree.root
+    tree.update(k("key2"), b"changed")
+    stale_root_proof = tree.prove(k("key2"))
+    with pytest.raises(ProofError):
+        PartialSMT.from_proofs(
+            snapshot_root,
+            [(key, b"value1", good), (k("key2"), b"changed", stale_root_proof)],
+        )
+
+
+def test_zero_proofs_rejected(tree):
+    with pytest.raises(ProofError):
+        PartialSMT.from_proofs(tree.root, [])
+
+
+def test_non_membership_then_insert(tree):
+    partial = PartialSMT.from_proofs(
+        tree.root, entries_for(tree, [], absent=["newkey"])
+    )
+    partial.update(k("newkey"), b"v")
+    tree.update(k("newkey"), b"v")
+    assert partial.root == tree.root

@@ -1,0 +1,119 @@
+"""Authenticated deterministic skip list (LineageChain baseline)."""
+
+import pytest
+
+from repro.errors import ProofError
+from repro.merkle.skiplist import (
+    EMPTY_ROOT,
+    AuthenticatedSkipList,
+    pointer_levels,
+    verify_window,
+)
+
+
+@pytest.fixture()
+def versions():
+    asl = AuthenticatedSkipList()
+    for index in range(200):
+        asl.append(index * 5, b"v%d" % index)
+    return asl
+
+
+def test_pointer_levels_structure():
+    assert pointer_levels(0) == []
+    assert pointer_levels(1) == [0]
+    assert pointer_levels(2) == [0, 1]
+    assert pointer_levels(8) == [0, 1, 2, 3]
+    assert pointer_levels(12) == [0, 1, 2]
+
+
+def test_empty_root():
+    assert AuthenticatedSkipList().root == EMPTY_ROOT
+
+
+def test_append_changes_root(versions):
+    before = versions.root
+    versions.append(9999, b"new")
+    assert versions.root != before
+
+
+def test_keys_must_increase(versions):
+    with pytest.raises(ProofError):
+        versions.append(3, b"stale")
+
+
+def test_window_query_roundtrip(versions):
+    results, proof = versions.window_query(100, 200)
+    assert results == [(key, b"v%d" % (key // 5)) for key in range(100, 201, 5)]
+    assert verify_window(versions.root, results, proof)
+
+
+def test_window_rejects_dropped_version(versions):
+    results, proof = versions.window_query(100, 200)
+    assert not verify_window(versions.root, results[:-1], proof)
+    assert not verify_window(versions.root, results[1:], proof)
+
+
+def test_window_rejects_altered_value(versions):
+    results, proof = versions.window_query(100, 200)
+    altered = [(results[0][0], b"tampered")] + results[1:]
+    assert not verify_window(versions.root, altered, proof)
+
+
+def test_window_rejects_wrong_root(versions):
+    results, proof = versions.window_query(100, 200)
+    other = AuthenticatedSkipList()
+    other.append(1, b"x")
+    assert not verify_window(other.root, results, proof)
+
+
+def test_empty_window(versions):
+    results, proof = versions.window_query(101, 104)  # between keys
+    assert results == []
+    assert verify_window(versions.root, [], proof)
+
+
+def test_window_at_head(versions):
+    results, proof = versions.window_query(990, 995)
+    assert results == [(990, b"v198"), (995, b"v199")]
+    assert verify_window(versions.root, results, proof)
+
+
+def test_window_at_genesis(versions):
+    results, proof = versions.window_query(0, 5)
+    assert results == [(0, b"v0"), (5, b"v1")]
+    assert verify_window(versions.root, results, proof)
+
+
+def test_empty_list_window():
+    asl = AuthenticatedSkipList()
+    results, proof = asl.window_query(0, 10)
+    assert results == []
+    assert verify_window(asl.root, [], proof)
+
+
+def test_proof_grows_with_distance(versions):
+    near = versions.window_query(950, 995)[1].size_bytes()
+    far = versions.window_query(0, 45)[1].size_bytes()
+    assert far > near
+
+
+def test_inverted_window_raises(versions):
+    with pytest.raises(ProofError):
+        versions.window_query(10, 5)
+
+
+def test_old_roots_remain_valid_for_their_prefix():
+    """Appends never rewrite history: a proof against an old root of the
+    same list prefix still verifies."""
+    asl = AuthenticatedSkipList()
+    for index in range(50):
+        asl.append(index, b"v%d" % index)
+    results, proof = asl.window_query(10, 20)
+    root_50 = asl.root
+    for index in range(50, 80):
+        asl.append(index, b"v%d" % index)
+    # The old proof no longer matches the new root...
+    assert not verify_window(asl.root, results, proof)
+    # ...but still matches the root it was issued under.
+    assert verify_window(root_50, results, proof)

@@ -1,0 +1,141 @@
+"""Sparse Merkle tree: updates, batched updates, compressed proofs."""
+
+import pytest
+
+from repro.crypto.hashing import sha256
+from repro.errors import StateError
+from repro.merkle.smt import SparseMerkleTree, default_digests, verify_proof
+
+
+def k(label: str) -> bytes:
+    return sha256(label.encode())
+
+
+@pytest.fixture()
+def populated():
+    tree = SparseMerkleTree(depth=64)
+    for index in range(50):
+        tree.update(k(f"key{index}"), b"value%d" % index)
+    return tree
+
+
+def test_empty_root_is_default(populated):
+    empty = SparseMerkleTree(depth=64)
+    assert empty.root == default_digests(64)[64]
+    assert empty.root != populated.root
+
+
+def test_get_returns_stored_values(populated):
+    assert populated.get(k("key7")) == b"value7"
+    assert populated.get(k("missing")) is None
+    assert k("key7") in populated
+    assert len(populated) == 50
+
+
+def test_membership_proof_verifies(populated):
+    proof = populated.prove(k("key7"))
+    assert verify_proof(populated.root, k("key7"), b"value7", proof)
+
+
+def test_membership_proof_rejects_wrong_value(populated):
+    proof = populated.prove(k("key7"))
+    assert not verify_proof(populated.root, k("key7"), b"forged", proof)
+
+
+def test_non_membership_proof(populated):
+    proof = populated.prove(k("missing"))
+    assert verify_proof(populated.root, k("missing"), None, proof)
+    assert not verify_proof(populated.root, k("missing"), b"anything", proof)
+
+
+def test_membership_cannot_claim_absence(populated):
+    proof = populated.prove(k("key7"))
+    assert not verify_proof(populated.root, k("key7"), None, proof)
+
+
+def test_delete_restores_absence(populated):
+    root_before = populated.root
+    populated.update(k("key7"), None)
+    assert populated.get(k("key7")) is None
+    proof = populated.prove(k("key7"))
+    assert verify_proof(populated.root, k("key7"), None, proof)
+    assert populated.root != root_before
+
+
+def test_update_batch_equals_sequential_updates():
+    sequential = SparseMerkleTree(depth=64)
+    batched = SparseMerkleTree(depth=64)
+    writes = {k(f"w{i}"): b"v%d" % i for i in range(100)}
+    for key, value in writes.items():
+        sequential.update(key, value)
+    batched.update_batch(dict(writes))
+    assert sequential.root == batched.root
+
+
+def test_batch_with_deletes():
+    tree = SparseMerkleTree(depth=64)
+    tree.update_batch({k("a"): b"1", k("b"): b"2"})
+    tree.update_batch({k("a"): None})
+    only_b = SparseMerkleTree(depth=64)
+    only_b.update(k("b"), b"2")
+    assert tree.root == only_b.root
+
+
+def test_update_order_does_not_matter():
+    forward = SparseMerkleTree(depth=64)
+    backward = SparseMerkleTree(depth=64)
+    items = [(k(f"x{i}"), b"v%d" % i) for i in range(20)]
+    for key, value in items:
+        forward.update(key, value)
+    for key, value in reversed(items):
+        backward.update(key, value)
+    assert forward.root == backward.root
+
+
+def test_full_depth_256_works():
+    tree = SparseMerkleTree(depth=256)
+    tree.update(k("deep"), b"value")
+    proof = tree.prove(k("deep"))
+    assert verify_proof(tree.root, k("deep"), b"value", proof)
+
+
+def test_depth_bounds_enforced():
+    with pytest.raises(StateError):
+        SparseMerkleTree(depth=0)
+    with pytest.raises(StateError):
+        SparseMerkleTree(depth=257)
+
+
+def test_keys_must_be_32_bytes():
+    tree = SparseMerkleTree(depth=64)
+    with pytest.raises(StateError):
+        tree.update(b"short", b"v")
+
+
+def test_path_collision_detected_at_shallow_depth():
+    # Depth 1: any two keys with the same top bit collide.
+    tree = SparseMerkleTree(depth=1)
+    key_a = bytes([0x00]) + bytes(31)
+    key_b = bytes([0x01]) + bytes(31)  # same top bit (0), different key
+    tree.update(key_a, b"a")
+    with pytest.raises(StateError):
+        tree.update(key_b, b"b")
+
+
+def test_proof_is_compressed():
+    tree = SparseMerkleTree(depth=256)
+    tree.update(k("lonely"), b"v")
+    proof = tree.prove(k("lonely"))
+    # A single-leaf tree has all-default siblings: nothing to ship.
+    assert len(proof.siblings) == 0
+    assert proof.size_bytes() < 100
+
+
+def test_proof_value_binding_across_truncated_paths():
+    """Leaf digests fold the full key, not just path bits."""
+    tree = SparseMerkleTree(depth=8)
+    key = k("bound")
+    tree.update(key, b"v")
+    proof = tree.prove(key)
+    other_key = key[:31] + bytes([key[31] ^ 1])  # same 8-bit path
+    assert not verify_proof(tree.root, other_key, b"v", proof)

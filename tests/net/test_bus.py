@@ -1,0 +1,84 @@
+"""The simulated message bus."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.net.bus import MessageBus, NetworkNode
+
+
+@pytest.fixture()
+def bus():
+    return MessageBus(default_latency_ms=10.0)
+
+
+def test_publish_reaches_subscribers(bus):
+    a, b, c = (bus.join(NetworkNode(name)) for name in "abc")
+    bus.subscribe("b", "news")
+    bus.subscribe("c", "news")
+    bus.publish("a", "news", "hello")
+    assert bus.run_until_idle() == 2
+    assert b.received == ["hello"]
+    assert c.received == ["hello"]
+
+
+def test_sender_does_not_receive_own_message(bus):
+    a = bus.join(NetworkNode("a"))
+    bus.subscribe("a", "news")
+    bus.publish("a", "news", "echo?")
+    bus.run_until_idle()
+    assert a.received == []
+
+
+def test_handlers_invoked(bus):
+    bus.join(NetworkNode("a"))
+    b = bus.join(NetworkNode("b"))
+    seen = []
+    b.on("news", seen.append)
+    bus.subscribe("b", "news")
+    bus.publish("a", "news", 42)
+    bus.run_until_idle()
+    assert seen == [42]
+
+
+def test_latency_ordering(bus):
+    bus.join(NetworkNode("a"))
+    b = bus.join(NetworkNode("b"))
+    bus.subscribe("b", "t")
+    bus.set_latency("a", "b", 100.0)
+    bus.publish("a", "t", "slow")
+    bus.set_latency("a", "b", 1.0)
+    bus.publish("a", "t", "fast")
+    bus.run_until_idle()
+    assert b.received == ["fast", "slow"]
+    assert bus.clock_ms == 100.0
+
+
+def test_cascading_publishes(bus):
+    bus.join(NetworkNode("a"))
+    relay = bus.join(NetworkNode("relay"))
+    sink = bus.join(NetworkNode("sink"))
+    relay.on("in", lambda message: bus.publish("relay", "out", f"relayed:{message}"))
+    bus.subscribe("relay", "in")
+    bus.subscribe("sink", "out")
+    bus.publish("a", "in", "ping")
+    assert bus.run_until_idle() == 2
+    assert sink.received == ["relayed:ping"]
+
+
+def test_duplicate_names_rejected(bus):
+    bus.join(NetworkNode("a"))
+    with pytest.raises(ReproError):
+        bus.join(NetworkNode("a"))
+
+
+def test_subscribe_unknown_node_rejected(bus):
+    with pytest.raises(ReproError):
+        bus.subscribe("ghost", "t")
+
+
+def test_unsubscribed_topic_drops(bus):
+    bus.join(NetworkNode("a"))
+    b = bus.join(NetworkNode("b"))
+    bus.publish("a", "untracked", "x")
+    assert bus.run_until_idle() == 0
+    assert b.received == []

@@ -1,0 +1,30 @@
+"""Network message types."""
+
+from repro.net.messages import BlockAnnouncement, CertificateAnnouncement
+
+
+def test_block_announcement_topic(kv_chain):
+    message = BlockAnnouncement(block=kv_chain.blocks[1])
+    assert message.topic == "blocks"
+    assert message.block.header.height == 1
+
+
+def test_certificate_announcement_topic(certified_setup):
+    certified = certified_setup["issuer"].certified[-1]
+    message = CertificateAnnouncement(
+        header=certified.block.header,
+        certificate=certified.certificate,
+        index_certificates=certified.index_certificates,
+        index_roots=certified.index_roots,
+    )
+    assert message.topic == "certificates"
+    assert set(message.index_certificates) == {"history", "keyword"}
+
+
+def test_certificate_announcement_defaults(certified_setup):
+    certified = certified_setup["issuer"].certified[-1]
+    message = CertificateAnnouncement(
+        header=certified.block.header, certificate=certified.certificate
+    )
+    assert message.index_certificates == {}
+    assert message.index_roots == {}

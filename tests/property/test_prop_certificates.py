@@ -1,0 +1,55 @@
+"""Property-based robustness of certificate handling.
+
+Random byte-level corruption of a certificate must never be accepted:
+either decoding fails, or validation raises.  This is the fuzzing
+counterpart of the targeted forgeries in ``tests/core/test_security.py``.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.certificate import Certificate
+from repro.core.superlight import SuperlightClient
+from repro.errors import CertificateError, CryptoError
+
+
+@pytest.fixture(scope="module")
+def accepted(certified_setup):
+    tip = certified_setup["issuer"].certified[-1]
+    client = SuperlightClient(
+        certified_setup["issuer"].measurement,
+        certified_setup["ias"].public_key,
+    )
+    assert client.validate_chain(tip.block.header, tip.certificate)
+    return {"tip": tip, "client": client, "wire": tip.certificate.encode()}
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_any_single_byte_corruption_is_rejected(accepted, data):
+    wire = bytearray(accepted["wire"])
+    position = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    wire[position] ^= flip
+    tip = accepted["tip"]
+    try:
+        corrupted = Certificate.decode(bytes(wire))
+    except (CertificateError, CryptoError):
+        return  # malformed encodings must fail to parse — fine
+    if corrupted == tip.certificate:
+        return  # the flip only touched JSON syntax/whitespace semantics
+    fresh = SuperlightClient(
+        accepted["client"].expected_measurement,
+        accepted["client"].ias_public_key,
+    )
+    with pytest.raises(CertificateError):
+        fresh.validate_chain(tip.block.header, corrupted)
+
+
+@settings(max_examples=30, deadline=None)
+@given(drop=st.integers(min_value=0, max_value=3))
+def test_truncated_certificates_rejected(accepted, drop):
+    wire = accepted["wire"]
+    truncated = wire[: len(wire) // (drop + 2)]
+    with pytest.raises((CertificateError, CryptoError)):
+        Certificate.decode(truncated)

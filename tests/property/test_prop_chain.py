@@ -1,0 +1,68 @@
+"""Property-based tests for chain-level invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.builder import ChainBuilder
+from repro.chain.genesis import make_genesis
+from repro.chain.node import FullNode
+from repro.chain.transaction import sign_transaction
+from repro.crypto import generate_keypair
+from tests.conftest import fresh_vm
+
+_KEYPAIR = generate_keypair(b"prop-chain")
+
+# One workload step: (key slot, value token).
+steps = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=99)),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(blocks=st.lists(steps, min_size=1, max_size=4))
+def test_any_mined_chain_replays_identically(blocks):
+    """Whatever the miner builds, an independent full node re-derives
+    the exact same state commitment."""
+    builder = ChainBuilder(difficulty_bits=2)
+    nonce = 0
+    for block_steps in blocks:
+        txs = []
+        for slot, token in block_steps:
+            txs.append(
+                sign_transaction(
+                    _KEYPAIR.private, nonce, "kvstore", "put",
+                    (f"k{slot}", f"v{token}"),
+                )
+            )
+            nonce += 1
+        builder.add_block(txs)
+    genesis, state = make_genesis()
+    node = FullNode(genesis, state, fresh_vm(), builder.pow)
+    for block in builder.blocks[1:]:
+        node.append_block(block)
+    assert node.state.root == builder.state.root
+    assert node.height == builder.height
+
+
+@settings(max_examples=10, deadline=None)
+@given(block_steps=steps)
+def test_write_sets_equal_replayed_write_sets(block_steps):
+    """The miner's recorded write set equals a strict re-execution's."""
+    from repro.chain.executor import TransactionExecutor
+    from repro.chain.state import StateStore
+
+    txs = []
+    for nonce, (slot, token) in enumerate(block_steps):
+        txs.append(
+            sign_transaction(
+                _KEYPAIR.private, nonce, "kvstore", "put",
+                (f"k{slot}", f"v{token}"),
+            )
+        )
+    vm = fresh_vm()
+    miner_exec = TransactionExecutor(vm)
+    miner_result = miner_exec.execute(StateStore(), list(txs), strict=False)
+    strict_result = miner_exec.execute(StateStore(), list(txs), strict=True)
+    assert miner_result.write_set == strict_result.write_set
+    assert miner_result.read_set == strict_result.read_set

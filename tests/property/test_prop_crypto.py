@@ -1,0 +1,58 @@
+"""Property-based tests for the crypto substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import ecdsa, generate_keypair, sign, verify
+from repro.crypto.hashing import hash_concat, sha256
+from repro.crypto.keys import PublicKey
+
+# Signing is ~2 ms in pure Python; keep example counts modest.
+_SLOW = settings(max_examples=20, deadline=None)
+
+scalars = st.integers(min_value=1, max_value=ecdsa.N - 1)
+messages = st.binary(min_size=0, max_size=128)
+
+
+@_SLOW
+@given(scalar=scalars)
+def test_public_key_roundtrip_for_any_scalar(scalar):
+    point = ecdsa.derive_public_point(scalar)
+    public = PublicKey(point[0], point[1])
+    assert PublicKey.from_bytes(public.to_bytes()) == public
+
+
+@_SLOW
+@given(scalar=scalars, message=messages)
+def test_sign_verify_roundtrip_any_key_any_message(scalar, message):
+    keypair = generate_keypair(scalar.to_bytes(32, "big"))
+    signature = sign(keypair.private, message)
+    assert verify(keypair.public, message, signature)
+
+
+@_SLOW
+@given(message=messages, flip=st.integers(min_value=0, max_value=7))
+def test_any_bit_flip_breaks_verification(message, flip):
+    keypair = generate_keypair(b"prop-flip")
+    signature = sign(keypair.private, message)
+    tampered = bytearray(message + b"\x00")  # ensure non-empty
+    tampered[0] ^= 1 << flip
+    assert not verify(keypair.public, bytes(tampered), signature)
+
+
+@given(
+    parts_a=st.lists(st.binary(max_size=16), max_size=5),
+    parts_b=st.lists(st.binary(max_size=16), max_size=5),
+)
+@settings(max_examples=200, deadline=None)
+def test_hash_concat_injective_on_part_lists(parts_a, parts_b):
+    if parts_a != parts_b:
+        assert hash_concat(*parts_a) != hash_concat(*parts_b)
+    else:
+        assert hash_concat(*parts_a) == hash_concat(*parts_b)
+
+
+@given(data=st.binary(max_size=64))
+@settings(max_examples=200, deadline=None)
+def test_sha256_stable(data):
+    assert sha256(data) == sha256(data)
+    assert len(sha256(data)) == 32

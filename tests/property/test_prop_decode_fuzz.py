@@ -1,0 +1,64 @@
+"""Fuzzing the wire decoders: garbage in, library exceptions out.
+
+Every ``decode`` in the library must fail *cleanly* on arbitrary bytes
+— raising the documented :class:`ReproError` subclass, never leaking a
+bare ``KeyError``/``TypeError``/``json`` exception to callers.  This is
+what lets network-facing code treat decoding failures uniformly.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.block import BlockHeader, decode_block
+from repro.chain.transaction import Transaction
+from repro.core.certificate import Certificate
+from repro.errors import ReproError
+
+garbage = st.binary(min_size=0, max_size=200)
+jsonish = st.text(alphabet='{}[]":,abc0123456789', max_size=80).map(
+    lambda text: text.encode("utf-8")
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.one_of(garbage, jsonish))
+def test_header_decode_never_leaks(data):
+    try:
+        BlockHeader.decode(data)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.one_of(garbage, jsonish))
+def test_transaction_decode_never_leaks(data):
+    try:
+        Transaction.decode(data)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.one_of(garbage, jsonish))
+def test_block_decode_never_leaks(data):
+    try:
+        decode_block(data)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.one_of(garbage, jsonish))
+def test_certificate_decode_never_leaks(data):
+    try:
+        Certificate.decode(data)
+    except ReproError:
+        pass
+
+
+def test_valid_roundtrips_still_work(kv_chain, certified_setup):
+    """The fuzz property must not be satisfied by rejecting everything."""
+    header = kv_chain.headers()[1]
+    assert BlockHeader.decode(header.encode()) == header
+    cert = certified_setup["issuer"].certified[-1].certificate
+    assert Certificate.decode(cert.encode()) == cert

@@ -1,0 +1,122 @@
+"""Property: fork-aware nodes converge regardless of delivery order.
+
+Build a random block *tree* (every block valid), deliver its blocks to
+a :class:`ForkAwareNode` in random topological orders, and require that
+every node ends on the same best tip with the same state commitment —
+the eventual-consistency property the certificate network relies on.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.builder import ChainBuilder
+from repro.chain.forktree import ForkAwareNode
+from repro.chain.genesis import make_genesis
+from repro.chain.transaction import sign_transaction
+from repro.crypto import generate_keypair
+from tests.conftest import fresh_vm
+
+_KEYPAIR = generate_keypair(b"prop-forks")
+
+
+def _clone_prefix(source: ChainBuilder, upto: int) -> ChainBuilder:
+    clone = ChainBuilder(difficulty_bits=2, network="prop-forks")
+    for block in source.blocks[1 : upto + 1]:
+        clone.blocks.append(block)
+        result = clone.miner.executor.execute(
+            clone.state, list(block.transactions), strict=True
+        )
+        clone.state.apply_writes(result.write_set)
+        clone.results.append(result)
+    return clone
+
+
+def build_block_tree(branch_plan):
+    """branch_plan: list of (fork_height_fraction, extra_blocks)."""
+    nonce = [0]
+
+    def kv(tag):
+        tx = sign_transaction(
+            _KEYPAIR.private, nonce[0], "kvstore", "put", (f"k{tag}", f"v{nonce[0]}")
+        )
+        nonce[0] += 1
+        return tx
+
+    trunk = ChainBuilder(difficulty_bits=2, network="prop-forks")
+    for height in range(1, 5):
+        trunk.add_block([kv(f"trunk{height}")])
+    all_blocks = list(trunk.blocks[1:])
+    builders = [trunk]
+    for index, (fraction, extra) in enumerate(branch_plan):
+        fork_at = 1 + int(fraction * 3)  # fork from trunk height 1..4
+        branch = _clone_prefix(trunk, fork_at)
+        for height in range(extra):
+            branch.add_block([kv(f"b{index}h{height}")])
+            all_blocks.append(branch.blocks[-1])
+        builders.append(branch)
+    # ForkAwareNode only reorgs on *strictly* greater height (first-seen
+    # wins ties), so order independence needs a unique tallest branch:
+    # keep extending the current best until it stands alone.
+    best = max(builders, key=lambda b: (b.height, b.tip.block_hash()))
+    while sum(1 for b in builders if b.height == best.height) > 1:
+        best.add_block([kv("tiebreak")])
+        all_blocks.append(best.blocks[-1])
+    return all_blocks, best
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    branch_plan=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1.0),
+            st.integers(min_value=1, max_value=4),
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_delivery_order_does_not_matter(branch_plan, seed):
+    all_blocks, best = build_block_tree(branch_plan)
+
+    def topological_shuffle(blocks, rng):
+        """Random order that never delivers a child before its parent."""
+        remaining = list(blocks)
+        known = {blocks[0].header.prev_hash}
+        ordered = []
+        while remaining:
+            ready = [
+                block for block in remaining if block.header.prev_hash in known
+            ]
+            chosen = rng.choice(ready)
+            ordered.append(chosen)
+            known.add(chosen.header.header_hash())
+            remaining.remove(chosen)
+        return ordered
+
+    rng = random.Random(seed)
+    tips = set()
+    roots = set()
+    for _ in range(2):
+        genesis, state = make_genesis(network="prop-forks")
+        node = ForkAwareNode(
+            genesis, state, fresh_vm(), ChainBuilder(difficulty_bits=2).pow
+        )
+        for block in topological_shuffle(all_blocks, rng):
+            node.add_block(block)
+        tips.add(node.tip.block_hash())
+        roots.add(node.state.root)
+    assert len(tips) == 1
+    assert len(roots) == 1
+    (tip_hash,) = tips
+    final_height = max(block.header.height for block in all_blocks)
+    delivered_heights = {
+        block.header.height: block for block in all_blocks
+    }
+    assert delivered_heights[final_height] is not None
+    # The adopted tip is at the maximum height present in the tree.
+    adopted = next(
+        block for block in all_blocks if block.block_hash() == tip_hash
+    )
+    assert adopted.header.height == final_height

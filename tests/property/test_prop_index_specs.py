@@ -1,0 +1,89 @@
+"""Property: every index spec's enclave replay tracks the SP exactly.
+
+For random SmallBank/KVStore workloads, each certified index family
+must satisfy the invariant the enclave relies on:
+
+    apply_writes(prev_root, writes, proof) == maintained_index.root
+
+after every block, where (writes, proof) come from the SP-side ingest.
+This is the property that makes Alg. 4 line 10 / Alg. 5 line 13 sound.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.builder import ChainBuilder
+from repro.chain.transaction import sign_transaction
+from repro.core.issuer import make_maintained_index
+from repro.crypto import generate_keypair
+from repro.query.indexes import (
+    AccountHistoryIndexSpec,
+    BalanceAggregateIndexSpec,
+    KeywordIndexSpec,
+    ValueRangeIndexSpec,
+)
+
+_KEYPAIR = generate_keypair(b"prop-specs")
+
+# One step: (op, account-slot, amount-token).
+steps = st.lists(
+    st.tuples(
+        st.sampled_from(["deposit", "pay", "kv"]),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=1, max_value=9),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def build_chain(block_steps):
+    builder = ChainBuilder(difficulty_bits=2)
+    nonce = [0]
+
+    def tx(contract, method, args):
+        built = sign_transaction(_KEYPAIR.private, nonce[0], contract, method, args)
+        nonce[0] += 1
+        return built
+
+    setup = [
+        tx("smallbank", "create", (f"s{slot}", "100", "0")) for slot in range(3)
+    ]
+    builder.add_block(setup)
+    for block in block_steps:
+        txs = []
+        for op, slot, amount in block:
+            if op == "deposit":
+                txs.append(
+                    tx("smallbank", "deposit_checking", (f"s{slot}", str(amount)))
+                )
+            elif op == "pay":
+                txs.append(
+                    tx(
+                        "smallbank",
+                        "send_payment",
+                        (f"s{slot}", f"s{(slot + 1) % 3}", str(amount)),
+                    )
+                )
+            else:
+                txs.append(tx("kvstore", "put", (f"k{slot}", f"value {amount}")))
+        builder.add_block(txs)
+    return builder
+
+
+@settings(max_examples=8, deadline=None)
+@given(block_steps=st.lists(steps, min_size=1, max_size=3))
+def test_all_specs_replay_exactly(block_steps):
+    builder = build_chain(block_steps)
+    specs = [
+        AccountHistoryIndexSpec(name="history"),
+        KeywordIndexSpec(name="keyword"),
+        BalanceAggregateIndexSpec(name="aggregate"),
+        ValueRangeIndexSpec(name="range"),
+    ]
+    for spec in specs:
+        index = make_maintained_index(spec)
+        root = spec.genesis_root()
+        for block, result in zip(builder.blocks[1:], builder.results[1:]):
+            writes, proof = index.ingest_block(block, result.write_set)
+            root = spec.apply_writes(root, writes, proof)
+            assert root == index.root, (spec.name, block.header.height)

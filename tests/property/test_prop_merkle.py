@@ -1,0 +1,181 @@
+"""Property-based tests for the authenticated structures.
+
+These pin the invariants DCert's security rests on: every structure's
+proofs verify for what is committed and for nothing else, and the
+proof-based update functions track the real structures exactly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import sha256
+from repro.merkle.mbtree import MerkleBTree, apply_insert, verify_range
+from repro.merkle.mht import MerkleTree, verify_membership
+from repro.merkle.mmr import MerkleMountainRange, verify_mmr
+from repro.merkle.mpt import MerklePatriciaTrie, apply_update, verify_mpt
+from repro.merkle.partial import PartialSMT
+from repro.merkle.skiplist import AuthenticatedSkipList, verify_window
+from repro.merkle.smt import SparseMerkleTree, verify_proof
+
+_FAST = settings(max_examples=50, deadline=None)
+_SLOWER = settings(max_examples=25, deadline=None)
+
+
+@_FAST
+@given(leaves=st.lists(st.binary(max_size=16), min_size=1, max_size=40))
+def test_mht_every_leaf_proves(leaves):
+    tree = MerkleTree(leaves)
+    for index, leaf in enumerate(leaves):
+        assert verify_membership(tree.root, leaf, tree.prove(index))
+
+
+@_FAST
+@given(
+    items=st.dictionaries(
+        st.text(min_size=1, max_size=8), st.binary(min_size=1, max_size=16),
+        min_size=1, max_size=30,
+    ),
+    probe=st.text(min_size=1, max_size=8),
+)
+def test_smt_membership_and_absence(items, probe):
+    tree = SparseMerkleTree(depth=64)
+    hashed = {sha256(label.encode()): value for label, value in items.items()}
+    tree.update_batch(dict(hashed))
+    for key, value in hashed.items():
+        assert verify_proof(tree.root, key, value, tree.prove(key))
+    probe_key = sha256(b"probe:" + probe.encode())
+    expected = hashed.get(probe_key)
+    assert verify_proof(tree.root, probe_key, expected, tree.prove(probe_key))
+
+
+@_SLOWER
+@given(
+    items=st.dictionaries(
+        st.text(min_size=1, max_size=6), st.binary(min_size=1, max_size=8),
+        min_size=2, max_size=20,
+    ),
+    writes=st.dictionaries(
+        st.text(min_size=1, max_size=6),
+        st.one_of(st.none(), st.binary(min_size=1, max_size=8)),
+        min_size=1, max_size=10,
+    ),
+)
+def test_partial_smt_tracks_full_tree_under_any_writes(items, writes):
+    tree = SparseMerkleTree(depth=64)
+    for label, value in items.items():
+        tree.update(sha256(label.encode()), value)
+    touched = sorted({*items, *writes})
+    entries = [
+        (sha256(label.encode()), tree.get(sha256(label.encode())),
+         tree.prove(sha256(label.encode())))
+        for label in touched
+    ]
+    partial = PartialSMT.from_proofs(tree.root, entries)
+    for label, value in writes.items():
+        partial.update(sha256(label.encode()), value)
+        tree.update(sha256(label.encode()), value)
+    assert partial.root == tree.root
+
+
+@_FAST
+@given(
+    items=st.dictionaries(
+        st.binary(min_size=1, max_size=6), st.binary(min_size=1, max_size=8),
+        min_size=1, max_size=30,
+    ),
+    probe=st.binary(min_size=1, max_size=6),
+)
+def test_mpt_membership_and_absence(items, probe):
+    trie = MerklePatriciaTrie()
+    for key, value in items.items():
+        trie.insert(key, value)
+    for key, value in items.items():
+        assert verify_mpt(trie.root, key, value, trie.prove(key))
+    assert verify_mpt(trie.root, probe, items.get(probe), trie.prove(probe))
+
+
+@_SLOWER
+@given(
+    initial=st.dictionaries(
+        st.binary(min_size=1, max_size=6), st.binary(min_size=1, max_size=8),
+        max_size=20,
+    ),
+    updates=st.lists(
+        st.tuples(st.binary(min_size=1, max_size=6), st.binary(min_size=1, max_size=8)),
+        min_size=1, max_size=10,
+    ),
+)
+def test_mpt_apply_update_tracks_inserts(initial, updates):
+    trie = MerklePatriciaTrie()
+    for key, value in initial.items():
+        trie.insert(key, value)
+    for key, value in updates:
+        predicted = apply_update(trie.root, key, value, trie.prove(key))
+        trie.insert(key, value)
+        assert predicted == trie.root
+
+
+@_SLOWER
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                  max_size=60, unique=True),
+    window=st.tuples(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    fanout=st.sampled_from([4, 8, 16]),
+)
+def test_mbtree_range_queries_complete(keys, window, fanout):
+    lo, hi = min(window), max(window)
+    tree = MerkleBTree(fanout=fanout)
+    for key in keys:
+        tree.insert(key, b"v%d" % key)
+    results, proof = tree.range_query(lo, hi)
+    assert verify_range(tree.root, results, proof)
+    assert results == sorted(
+        (key, b"v%d" % key) for key in keys if lo <= key <= hi
+    )
+
+
+@_SLOWER
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=100_000), min_size=1,
+                  max_size=80, unique=True),
+    fanout=st.sampled_from([4, 8]),
+)
+def test_mbtree_apply_insert_tracks_tree(keys, fanout):
+    tree = MerkleBTree(fanout=fanout)
+    for key in keys:
+        proof = tree.prove_insert(key)
+        predicted = apply_insert(tree.root, key, b"v%d" % key, proof)
+        tree.insert(key, b"v%d" % key)
+        assert predicted == tree.root
+
+
+@_SLOWER
+@given(
+    count=st.integers(min_value=1, max_value=80),
+    window=st.tuples(
+        st.integers(min_value=0, max_value=400),
+        st.integers(min_value=0, max_value=400),
+    ),
+)
+def test_skiplist_window_queries_complete(count, window):
+    lo, hi = min(window), max(window)
+    asl = AuthenticatedSkipList()
+    keys = [index * 5 for index in range(count)]
+    for key in keys:
+        asl.append(key, b"v%d" % key)
+    results, proof = asl.window_query(lo, hi)
+    assert verify_window(asl.root, results, proof)
+    assert results == [(key, b"v%d" % key) for key in keys if lo <= key <= hi]
+
+
+@_FAST
+@given(count=st.integers(min_value=1, max_value=60),
+       probe=st.integers(min_value=0, max_value=59))
+def test_mmr_membership(count, probe):
+    mmr = MerkleMountainRange()
+    for index in range(count):
+        mmr.append(b"leaf-%d" % index)
+    index = probe % count
+    assert verify_mmr(mmr.root, b"leaf-%d" % index, mmr.prove(index))

@@ -1,0 +1,140 @@
+"""Index specs: write-data derivation and proof-based root updates."""
+
+import pytest
+
+from repro.chain.builder import ChainBuilder
+from repro.chain.transaction import sign_transaction
+from repro.crypto import generate_keypair
+from repro.errors import ProofError
+from repro.query.indexes import (
+    AccountHistoryIndexSpec,
+    KeywordIndexSpec,
+    MaintainedKeywordIndex,
+    TwoLevelHistoryIndex,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(b"index-tests")
+
+
+@pytest.fixture(scope="module")
+def chain(keypair):
+    builder = ChainBuilder(difficulty_bits=4)
+    nonce = 0
+    for height in range(1, 9):
+        txs = [
+            sign_transaction(
+                keypair.private, nonce, "kvstore", "put",
+                (f"acct{height % 3}", f"val{height} alpha beta"),
+            )
+        ]
+        nonce += 1
+        builder.add_block(txs)
+    return builder
+
+
+def test_history_write_data_derivation(chain):
+    spec = AccountHistoryIndexSpec()
+    block = chain.blocks[1]
+    result = chain.results[1]
+    writes = spec.write_data(block, result.write_set)
+    assert len(writes) == 1
+    assert writes[0].account == "acct1"
+    assert writes[0].timestamp == 1
+    assert writes[0].value == b"val1 alpha beta"
+
+
+def test_history_apply_writes_tracks_index(chain):
+    spec = AccountHistoryIndexSpec()
+    index = TwoLevelHistoryIndex(spec)
+    root = spec.genesis_root()
+    for block, result in zip(chain.blocks[1:], chain.results[1:]):
+        writes, proof = index.ingest_block(block, result.write_set)
+        root = spec.apply_writes(root, writes, proof)
+        assert root == index.root
+
+
+def test_history_apply_rejects_wrong_new_root(chain):
+    spec = AccountHistoryIndexSpec()
+    index = TwoLevelHistoryIndex(spec)
+    block, result = chain.blocks[1], chain.results[1]
+    writes, proof = index.ingest_block(block, result.write_set)
+    # Tampered write value: the recomputed root differs.
+    from dataclasses import replace
+
+    bad_writes = (replace(writes[0], value=b"forged"),)
+    bad_root = spec.apply_writes(spec.genesis_root(), bad_writes, proof)
+    assert bad_root != index.root
+
+
+def test_history_apply_rejects_short_proof(chain):
+    from repro.query.indexes import TwoLevelUpdateProof
+
+    spec = AccountHistoryIndexSpec()
+    index = TwoLevelHistoryIndex(spec)
+    block, result = chain.blocks[1], chain.results[1]
+    writes, proof = index.ingest_block(block, result.write_set)
+    with pytest.raises(ProofError):
+        spec.apply_writes(spec.genesis_root(), writes, TwoLevelUpdateProof(steps=()))
+
+
+def test_history_query_windows(chain):
+    spec = AccountHistoryIndexSpec()
+    index = TwoLevelHistoryIndex(spec)
+    for block, result in zip(chain.blocks[1:], chain.results[1:]):
+        index.ingest_block(block, result.write_set)
+    answer = index.query_history("acct1", 1, 8)
+    assert [t for t, _ in answer.versions] == [1, 4, 7]
+    missing = index.query_history("ghost", 1, 8)
+    assert missing.versions == () and missing.lower_root is None
+
+
+def test_keyword_write_data_derivation(chain):
+    spec = KeywordIndexSpec()
+    block = chain.blocks[2]
+    writes = spec.write_data(block, chain.results[2].write_set)
+    assert len(writes) == 1
+    assert writes[0].seq == (2 << 20) | 0
+    assert set(writes[0].keywords) == {"acct2", "val2", "alpha", "beta"}
+
+
+def test_keyword_apply_writes_tracks_index(chain):
+    spec = KeywordIndexSpec()
+    index = MaintainedKeywordIndex(spec)
+    root = spec.genesis_root()
+    for block, result in zip(chain.blocks[1:], chain.results[1:]):
+        writes, proof = index.ingest_block(block, result.write_set)
+        root = spec.apply_writes(root, writes, proof)
+        assert root == index.root
+
+
+def test_keyword_conjunctive_queries(chain):
+    spec = KeywordIndexSpec()
+    index = MaintainedKeywordIndex(spec)
+    for block, result in zip(chain.blocks[1:], chain.results[1:]):
+        index.ingest_block(block, result.write_set)
+    answer = index.query_conjunctive(["alpha", "beta"])
+    assert len(answer.results) == 8  # every doc carries both
+    narrow = index.query_conjunctive(["alpha", "val3"])
+    assert narrow.results == ((3 << 20),)
+
+
+def test_keyword_seq_encoding_bounds():
+    spec = KeywordIndexSpec()
+    assert spec.tx_seq(5, 3) == (5 << 20) | 3
+    from repro.errors import QueryError
+
+    with pytest.raises(QueryError):
+        spec.tx_seq(1, 1 << 20)
+
+
+def test_spec_fanout_mismatch_rejected(chain):
+    spec16 = AccountHistoryIndexSpec(fanout=16)
+    spec8 = AccountHistoryIndexSpec(fanout=8)
+    index = TwoLevelHistoryIndex(spec16)
+    block, result = chain.blocks[1], chain.results[1]
+    writes, proof = index.ingest_block(block, result.write_set)
+    with pytest.raises(ProofError):
+        spec8.apply_writes(spec8.genesis_root(), writes, proof)

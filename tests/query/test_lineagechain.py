@@ -1,0 +1,91 @@
+"""LineageChain baseline index: correctness and distance behaviour."""
+
+import pytest
+from dataclasses import replace
+
+from repro.chain.builder import ChainBuilder
+from repro.chain.transaction import sign_transaction
+from repro.crypto import generate_keypair
+from repro.query.indexes import AccountHistoryIndexSpec
+from repro.query.lineagechain import LineageChainIndex, verify_lineage_answer
+
+
+@pytest.fixture(scope="module")
+def setup():
+    keypair = generate_keypair(b"lineage-tests")
+    builder = ChainBuilder(difficulty_bits=4)
+    index = LineageChainIndex(AccountHistoryIndexSpec())
+    nonce = 0
+    for height in range(1, 31):
+        txs = [
+            sign_transaction(
+                keypair.private, nonce, "kvstore", "put",
+                ("acct0", f"val{height}"),
+            )
+        ]
+        nonce += 1
+        block, result = builder.add_block(txs)
+        index.ingest_block(block, result.write_set)
+    return builder, index
+
+
+def test_window_query_roundtrip(setup):
+    _, index = setup
+    answer = index.query_history("acct0", 10, 15)
+    assert [t for t, _ in answer.versions] == list(range(10, 16))
+    assert verify_lineage_answer(index.root, answer)
+
+
+def test_tampering_detected(setup):
+    _, index = setup
+    answer = index.query_history("acct0", 10, 15)
+    assert not verify_lineage_answer(
+        index.root, replace(answer, versions=answer.versions[:-1])
+    )
+    forged = ((answer.versions[0][0], b"evil"),) + answer.versions[1:]
+    assert not verify_lineage_answer(index.root, replace(answer, versions=forged))
+
+
+def test_unknown_account(setup):
+    _, index = setup
+    answer = index.query_history("ghost", 1, 30)
+    assert answer.versions == ()
+    assert verify_lineage_answer(index.root, answer)
+
+
+def test_window_bounds_checked(setup):
+    _, index = setup
+    answer = index.query_history("acct0", 10, 15)
+    widened = replace(answer, t_from=5, t_to=20)
+    assert not verify_lineage_answer(index.root, widened)
+
+
+def test_proof_size_grows_with_distance(setup):
+    """The Fig. 11 asymmetry: windows far from the tip cost more."""
+    _, index = setup
+    near = index.query_history("acct0", 25, 28).proof_size_bytes()
+    far = index.query_history("acct0", 2, 5).proof_size_bytes()
+    assert far > near
+
+
+def test_dcert_two_level_proofs_flat_in_distance():
+    """Contrast: the MB-tree lower level costs the same near and far."""
+    from repro.query.indexes import TwoLevelHistoryIndex
+
+    keypair = generate_keypair(b"flat-tests")
+    builder = ChainBuilder(difficulty_bits=4)
+    index = TwoLevelHistoryIndex(AccountHistoryIndexSpec())
+    nonce = 0
+    for height in range(1, 31):
+        block, result = builder.add_block(
+            [
+                sign_transaction(
+                    keypair.private, nonce, "kvstore", "put", ("acct0", f"v{height}")
+                )
+            ]
+        )
+        nonce += 1
+        index.ingest_block(block, result.write_set)
+    near = index.query_history("acct0", 25, 28).proof_size_bytes()
+    far = index.query_history("acct0", 2, 5).proof_size_bytes()
+    assert abs(far - near) < max(far, near) * 0.5

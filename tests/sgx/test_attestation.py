@@ -1,0 +1,82 @@
+"""Quotes and the simulated IAS."""
+
+import pytest
+
+from repro.errors import AttestationError
+from repro.crypto.hashing import sha256
+from repro.sgx.attestation import AttestationService, Quote, sign_quote
+from repro.sgx.platform import SGXPlatform
+
+
+@pytest.fixture()
+def platform():
+    return SGXPlatform(seed=b"attest-tests")
+
+
+@pytest.fixture()
+def ias(platform):
+    service = AttestationService(seed=b"attest-ias")
+    service.register_platform(platform)
+    return service
+
+
+def test_quote_signature_verifies(platform):
+    quote = sign_quote(platform, sha256(b"measurement"), b"user-data")
+    assert quote.verify_hardware_signature()
+
+
+def test_quote_tamper_detected(platform):
+    quote = sign_quote(platform, sha256(b"measurement"), b"user-data")
+    tampered = Quote(
+        measurement=sha256(b"other"),
+        report_data=quote.report_data,
+        platform_key=quote.platform_key,
+        signature=quote.signature,
+    )
+    assert not tampered.verify_hardware_signature()
+
+
+def test_attest_issues_verifiable_report(platform, ias):
+    quote = sign_quote(platform, sha256(b"measurement"), b"user-data")
+    report = ias.attest(quote)
+    assert report.verify(ias.public_key)
+    assert report.measurement == quote.measurement
+    assert report.report_data == b"user-data"
+
+
+def test_report_rejects_wrong_ias_key(platform, ias):
+    quote = sign_quote(platform, sha256(b"m"), b"d")
+    report = ias.attest(quote)
+    other = AttestationService(seed=b"other-ias")
+    assert not report.verify(other.public_key)
+
+
+def test_unknown_platform_rejected(ias):
+    rogue = SGXPlatform(seed=b"rogue")
+    quote = sign_quote(rogue, sha256(b"m"), b"d")
+    with pytest.raises(AttestationError):
+        ias.attest(quote)
+
+
+def test_tampered_quote_rejected(platform, ias):
+    quote = sign_quote(platform, sha256(b"m"), b"d")
+    tampered = Quote(
+        measurement=quote.measurement,
+        report_data=b"swapped",
+        platform_key=quote.platform_key,
+        signature=quote.signature,
+    )
+    with pytest.raises(AttestationError):
+        ias.attest(tampered)
+
+
+def test_well_known_ias_is_deterministic():
+    from repro.sgx.attestation import WELL_KNOWN_IAS
+
+    again = AttestationService(seed=b"well-known")
+    assert WELL_KNOWN_IAS.public_key == again.public_key
+
+
+def test_report_size_accounting(platform, ias):
+    report = ias.attest(sign_quote(platform, sha256(b"m"), b"d"))
+    assert report.size_bytes() > 100

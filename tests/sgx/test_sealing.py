@@ -1,0 +1,116 @@
+"""Sealed storage: data bound to (platform, measurement)."""
+
+import pytest
+
+from repro.crypto.hashing import sha256
+from repro.errors import EnclaveError
+from repro.sgx.platform import SGXPlatform
+from repro.sgx.sealing import seal, unseal
+
+
+@pytest.fixture()
+def platform():
+    return SGXPlatform(seed=b"seal-tests")
+
+
+MEASUREMENT = sha256(b"program-identity")
+
+
+def test_seal_unseal_roundtrip(platform):
+    sealed = seal(platform, MEASUREMENT, b"secret key material")
+    assert unseal(platform, MEASUREMENT, sealed) == b"secret key material"
+
+
+def test_ciphertext_hides_plaintext(platform):
+    sealed = seal(platform, MEASUREMENT, b"secret key material")
+    assert b"secret" not in sealed
+
+
+def test_other_platform_cannot_unseal(platform):
+    sealed = seal(platform, MEASUREMENT, b"data")
+    other = SGXPlatform(seed=b"other-machine")
+    with pytest.raises(EnclaveError):
+        unseal(other, MEASUREMENT, sealed)
+
+
+def test_other_program_cannot_unseal(platform):
+    sealed = seal(platform, MEASUREMENT, b"data")
+    with pytest.raises(EnclaveError):
+        unseal(platform, sha256(b"different-program"), sealed)
+
+
+def test_tampered_blob_rejected(platform):
+    sealed = bytearray(seal(platform, MEASUREMENT, b"data"))
+    sealed[20] ^= 1
+    with pytest.raises(EnclaveError):
+        unseal(platform, MEASUREMENT, bytes(sealed))
+
+
+def test_truncated_blob_rejected(platform):
+    with pytest.raises(EnclaveError):
+        unseal(platform, MEASUREMENT, b"short")
+
+
+def test_empty_plaintext(platform):
+    sealed = seal(platform, MEASUREMENT, b"")
+    assert unseal(platform, MEASUREMENT, sealed) == b""
+
+
+def test_ci_restart_with_sealed_key_keeps_pk_enc(kv_chain):
+    """A restarted CI that unseals its key keeps the same pk_enc, so
+    clients do not need to re-check a new attestation report."""
+    from repro.chain.genesis import make_genesis
+    from repro.core.issuer import CertificateIssuer
+    from repro.sgx.attestation import AttestationService
+    from tests.conftest import fresh_vm
+
+    ias = AttestationService(seed=b"seal-ias")
+    platform = SGXPlatform(seed=b"seal-ci")
+    genesis, state = make_genesis()
+    first = CertificateIssuer(
+        genesis, state, fresh_vm(), kv_chain.pow,
+        ias=ias, platform=platform, key_seed=b"seal-key",
+    )
+    for block in kv_chain.blocks[1:3]:
+        first.process_block(block)
+    sealed = first.seal_signing_key()
+
+    genesis2, state2 = make_genesis()
+    restarted = CertificateIssuer(
+        genesis2, state2, fresh_vm(), kv_chain.pow,
+        ias=ias, platform=platform, sealed_key=sealed,
+    )
+    assert restarted.pk_enc == first.pk_enc
+    assert restarted.measurement == first.measurement
+
+    # ...and the restarted CI continues certifying from genesis state
+    # with certificates clients accept under the same report data.
+    from repro.core.superlight import SuperlightClient
+
+    client = SuperlightClient(first.measurement, ias.public_key)
+    for block in kv_chain.blocks[1:4]:
+        certified = restarted.process_block(block)
+    assert client.validate_chain(certified.block.header, certified.certificate)
+    assert len(client._verified_reports) == 1
+
+
+def test_sealed_key_useless_on_other_platform(kv_chain):
+    from repro.chain.genesis import make_genesis
+    from repro.core.issuer import CertificateIssuer
+    from repro.sgx.attestation import AttestationService
+    from tests.conftest import fresh_vm
+
+    ias = AttestationService(seed=b"seal-ias-2")
+    platform = SGXPlatform(seed=b"seal-ci-2")
+    genesis, state = make_genesis()
+    first = CertificateIssuer(
+        genesis, state, fresh_vm(), kv_chain.pow,
+        ias=ias, platform=platform, key_seed=b"seal-key-2",
+    )
+    sealed = first.seal_signing_key()
+    genesis2, state2 = make_genesis()
+    with pytest.raises(EnclaveError):
+        CertificateIssuer(
+            genesis2, state2, fresh_vm(), kv_chain.pow,
+            ias=ias, platform=SGXPlatform(seed=b"thief"), sealed_key=sealed,
+        )

@@ -1,0 +1,105 @@
+"""The benchmark support package: params, generators, harness, reporting."""
+
+import pytest
+
+from repro.bench.params import BenchParams, load_params
+from repro.bench.reporting import print_series, print_table
+from repro.bench.workloadgen import WorkloadGenerator
+
+
+def test_default_profile_is_quick(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    assert load_params().name == "quick"
+
+
+def test_full_profile_selectable(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+    params = load_params()
+    assert params.name == "full"
+    assert params.query_blocks > BenchParams(name="x").query_blocks
+
+
+def test_unknown_profile_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+    with pytest.raises(ValueError):
+        load_params()
+
+
+@pytest.fixture()
+def generator(bench_params):
+    return WorkloadGenerator(bench_params, seed=1)
+
+
+def test_generator_is_deterministic(bench_params):
+    first = WorkloadGenerator(bench_params, seed=9).block_txs("KV", 5)
+    second = WorkloadGenerator(bench_params, seed=9).block_txs("KV", 5)
+    assert [tx.encode() for tx in first] == [tx.encode() for tx in second]
+
+
+def test_generator_seeds_differ(bench_params):
+    first = WorkloadGenerator(bench_params, seed=1).block_txs("KV", 5)
+    second = WorkloadGenerator(bench_params, seed=2).block_txs("KV", 5)
+    assert [tx.encode() for tx in first] != [tx.encode() for tx in second]
+
+
+@pytest.mark.parametrize("workload,contract", [
+    ("DN", "donothing"),
+    ("CPU", "cpuheavy"),
+    ("IO", "ioheavy"),
+    ("KV", "kvstore"),
+    ("SB", "smallbank"),
+])
+def test_generator_emits_signed_workload_txs(generator, workload, contract):
+    txs = generator.block_txs(workload, 4)
+    assert len(txs) == 4
+    for tx in txs:
+        assert tx.contract == contract
+        assert tx.verify_signature()
+
+
+def test_generator_nonces_unique(generator):
+    txs = generator.block_txs("KV", 10)
+    nonces = [tx.nonce for tx in txs]
+    assert len(set(nonces)) == len(nonces)
+
+
+def test_smallbank_setup_covers_all_accounts(generator, bench_params):
+    setup = generator.smallbank_setup_txs()
+    assert len(setup) == bench_params.num_accounts
+    assert all(tx.method == "create" for tx in setup)
+
+
+def test_history_and_keyword_factories(generator):
+    tx = generator.history_update_tx(3)
+    assert tx.contract == "kvstore" and tx.args[0] == "acct3"
+    keyword_tx = generator.keyword_tx(["alpha", "beta", "gamma"], keywords_per_tx=2)
+    tokens = keyword_tx.args[1].split()
+    assert len(tokens) == 2 and set(tokens) <= {"alpha", "beta", "gamma"}
+
+
+def test_harness_records_breakdowns(bench_params):
+    from repro.bench.harness import CertifiedChainHarness
+
+    harness = CertifiedChainHarness(bench_params, network="support-test")
+    harness.grow_workload("KV", 2, 3)
+    assert len(harness.timings) == 2
+    mean = harness.mean_timing()
+    assert mean.total_s > 0
+    assert mean.outside_s > 0
+    assert mean.inside_s > 0
+    # Cost model is disabled in unit tests: no modeled overhead.
+    assert mean.enclave_overhead_s == 0
+    assert harness.issuer.node.height == 2
+
+
+def test_print_table_formats(capsys):
+    print_table("T", ["a", "b"], [[1, 0.5], ["x", 1234567]])
+    out = capsys.readouterr().out
+    assert "== T ==" in out
+    assert "1,234,567" in out
+
+
+def test_print_series_merges_axes(capsys):
+    print_series("S", "x", {"one": {1: "a", 2: "b"}, "two": {2: "c"}})
+    out = capsys.readouterr().out
+    assert "one" in out and "two" in out and "-" in out

@@ -1,0 +1,28 @@
+"""The CLI: info, selftest, demo."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro.core" in out and "DCert" in out
+
+
+def test_selftest(capsys):
+    assert main(["selftest"]) == 0
+    assert "selftest ok" in capsys.readouterr().out
+
+
+def test_demo(capsys):
+    assert main(["demo", "--blocks", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Superlight client validated" in out
+    assert "verified=True" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

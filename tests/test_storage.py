@@ -1,0 +1,163 @@
+"""Chain archive: persistence and tamper-checked restore."""
+
+import json
+
+import pytest
+
+from repro.chain.block import decode_block, encode_block
+from repro.chain.genesis import make_genesis
+from repro.core.issuer import CertificateIssuer
+from repro.errors import BlockValidationError, CertificateError
+from repro.sgx.attestation import AttestationService
+from repro.sgx.platform import SGXPlatform
+from repro.storage import ChainArchive, restore_issuer
+from tests.conftest import fresh_vm
+
+
+def test_block_wire_roundtrip(kv_chain):
+    block = kv_chain.blocks[2]
+    decoded = decode_block(encode_block(block))
+    assert decoded.block_hash() == block.block_hash()
+    assert decoded.check_tx_root()
+
+
+def test_block_decode_rejects_garbage():
+    with pytest.raises(BlockValidationError):
+        decode_block(b"nonsense")
+    with pytest.raises(BlockValidationError):
+        decode_block(b"{}")
+
+
+@pytest.fixture()
+def archived_world(kv_chain, tmp_path):
+    ias = AttestationService(seed=b"archive-ias")
+    platform = SGXPlatform(seed=b"archive-platform")
+    genesis, state = make_genesis()
+    issuer = CertificateIssuer(
+        genesis, state, fresh_vm(), kv_chain.pow,
+        ias=ias, platform=platform, key_seed=b"archive-key",
+    )
+    archive = ChainArchive(tmp_path / "chain.jsonl")
+    archive.initialize(issuer.seal_signing_key())
+    for block in kv_chain.blocks[1:6]:
+        certified = issuer.process_block(block)
+        archive.append(block, certified.certificate)
+    return {
+        "issuer": issuer,
+        "archive": archive,
+        "ias": ias,
+        "platform": platform,
+        "chain": kv_chain,
+    }
+
+
+def test_restore_reproduces_issuer(archived_world, kv_chain):
+    genesis, state = make_genesis()
+    restored = restore_issuer(
+        archived_world["archive"], genesis, state, fresh_vm(), kv_chain.pow,
+        platform=archived_world["platform"], ias=archived_world["ias"],
+    )
+    original = archived_world["issuer"]
+    assert restored.pk_enc == original.pk_enc
+    assert restored.node.height == original.node.height
+    assert restored.node.state.root == original.node.state.root
+    assert (
+        restored.latest_certificate.encode()
+        == original.latest_certificate.encode()
+    )
+
+
+def test_restored_issuer_continues_certifying(archived_world, kv_chain):
+    genesis, state = make_genesis()
+    restored = restore_issuer(
+        archived_world["archive"], genesis, state, fresh_vm(), kv_chain.pow,
+        platform=archived_world["platform"], ias=archived_world["ias"],
+    )
+    certified = restored.process_block(kv_chain.blocks[6])
+    assert certified.certificate is not None
+
+
+def test_tampered_certificate_rejected_on_restore(archived_world, kv_chain):
+    path = archived_world["archive"].path
+    lines = path.read_text().splitlines()
+    record = json.loads(lines[-1])
+    cert = json.loads(record["certificate"])
+    cert["dig"] = "00" * 32
+    record["certificate"] = json.dumps(cert, sort_keys=True)
+    lines[-1] = json.dumps(record, sort_keys=True)
+    path.write_text("\n".join(lines) + "\n")
+    genesis, state = make_genesis()
+    with pytest.raises(CertificateError):
+        restore_issuer(
+            archived_world["archive"], genesis, state, fresh_vm(), kv_chain.pow,
+            platform=archived_world["platform"], ias=archived_world["ias"],
+        )
+
+
+def test_tampered_block_rejected_on_restore(archived_world, kv_chain):
+    path = archived_world["archive"].path
+    lines = path.read_text().splitlines()
+    record = json.loads(lines[2])
+    block = json.loads(record["block"])
+    header = json.loads(block["header"])
+    header["ts"] = header["ts"] + 1
+    block["header"] = json.dumps(header, sort_keys=True)
+    record["block"] = json.dumps(block, sort_keys=True)
+    lines[2] = json.dumps(record, sort_keys=True)
+    path.write_text("\n".join(lines) + "\n")
+    genesis, state = make_genesis()
+    with pytest.raises(BlockValidationError):
+        restore_issuer(
+            archived_world["archive"], genesis, state, fresh_vm(), kv_chain.pow,
+            platform=archived_world["platform"], ias=archived_world["ias"],
+        )
+
+
+def test_restore_on_wrong_platform_fails(archived_world, kv_chain):
+    from repro.errors import EnclaveError
+
+    genesis, state = make_genesis()
+    with pytest.raises(EnclaveError):
+        restore_issuer(
+            archived_world["archive"], genesis, state, fresh_vm(), kv_chain.pow,
+            platform=SGXPlatform(seed=b"thief"), ias=archived_world["ias"],
+        )
+
+
+def test_missing_head_record_rejected(tmp_path):
+    archive = ChainArchive(tmp_path / "empty.jsonl")
+    archive.path.write_text("")
+    with pytest.raises(CertificateError):
+        archive.load()
+
+
+def test_restore_with_index_specs(kv_chain, tmp_path):
+    """Index certificates are re-derived during replay; the restored CI
+    reaches the same certified index roots."""
+    from repro.query.indexes import AccountHistoryIndexSpec, KeywordIndexSpec
+
+    specs = [AccountHistoryIndexSpec(name="history"), KeywordIndexSpec(name="keyword")]
+    ias = AttestationService(seed=b"archive-idx-ias")
+    platform = SGXPlatform(seed=b"archive-idx-platform")
+    genesis, state = make_genesis()
+    issuer = CertificateIssuer(
+        genesis, state, fresh_vm(), kv_chain.pow,
+        index_specs=specs, ias=ias, platform=platform, key_seed=b"archive-idx",
+    )
+    archive = ChainArchive(tmp_path / "idx.jsonl")
+    archive.initialize(issuer.seal_signing_key())
+    for block in kv_chain.blocks[1:5]:
+        certified = issuer.process_block(block)
+        archive.append(block, certified.certificate)
+
+    genesis2, state2 = make_genesis()
+    restored = restore_issuer(
+        archive, genesis2, state2, fresh_vm(), kv_chain.pow,
+        index_specs=specs, platform=platform, ias=ias,
+    )
+    for name in ("history", "keyword"):
+        assert restored.index_root(name) == issuer.index_root(name)
+        assert (
+            restored.index_certificate(name).encode()
+            == issuer.index_certificate(name).encode()
+        )
