@@ -1,0 +1,15 @@
+PYTHON ?= python
+
+.PHONY: test bench lint selftest
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+lint:
+	bash scripts/lint.sh
+
+selftest:
+	PYTHONPATH=src $(PYTHON) -m repro selftest

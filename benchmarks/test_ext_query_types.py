@@ -21,15 +21,19 @@ import time
 
 from repro.bench.harness import CertifiedChainHarness
 from repro.bench.reporting import print_table
+from repro.query import (
+    AggregateQuery,
+    HistoryQuery,
+    KeywordQuery,
+    QueryAnswer,
+    ValueRangeQuery,
+    verify,
+)
 from repro.query.indexes import (
     AccountHistoryIndexSpec,
     BalanceAggregateIndexSpec,
     KeywordIndexSpec,
     ValueRangeIndexSpec,
-    verify_aggregate_answer,
-    verify_history_versions,
-    verify_keyword_results,
-    verify_value_range_answer,
 )
 
 
@@ -68,54 +72,82 @@ def test_all_query_types(params, benchmark):
 
     rows = []
 
+    # Every family goes through the typed request/answer API and the
+    # unified client-side verify() entry point.
+    history_request = HistoryQuery(
+        index="history", account=kv_account, t_from=1, t_to=height
+    )
     answer, latency = _timed(
-        lambda: issuer.indexes["history"].query_history(kv_account, 1, height)
+        lambda: QueryAnswer(
+            request=history_request,
+            payload=issuer.indexes["history"].query_history(
+                kv_account, 1, height
+            ),
+        )
     )
     ok, verify_ms = _timed(
-        lambda: verify_history_versions(issuer.index_root("history"), answer)
+        lambda: verify(history_request, answer, issuer.index_root)
     )
     assert ok
     rows.append(
-        ["history window", f"{len(answer.versions)} versions",
+        ["history window", f"{len(answer.payload.versions)} versions",
          round(latency, 3), answer.proof_size_bytes(), round(verify_ms, 3)]
     )
 
+    keyword_request = KeywordQuery(index="keyword", keywords=(kv_account,))
     keyword_answer, latency = _timed(
-        lambda: issuer.indexes["keyword"].query_conjunctive([kv_account])
+        lambda: QueryAnswer(
+            request=keyword_request,
+            payload=issuer.indexes["keyword"].query_conjunctive([kv_account]),
+        )
     )
     ok, verify_ms = _timed(
-        lambda: verify_keyword_results(issuer.index_root("keyword"), keyword_answer)
+        lambda: verify(keyword_request, keyword_answer, issuer.index_root)
     )
     assert ok
     rows.append(
-        ["keyword AND", f"{len(keyword_answer.results)} txs",
-         round(latency, 3), keyword_answer.proof_size_bytes(), round(verify_ms, 3)]
+        ["keyword AND", f"{len(keyword_answer.payload.results)} txs",
+         round(latency, 3), keyword_answer.proof_size_bytes(),
+         round(verify_ms, 3)]
     )
 
+    agg_request = AggregateQuery(
+        index="aggregate", account=account, t_from=1, t_to=height
+    )
     agg_answer, latency = _timed(
-        lambda: issuer.indexes["aggregate"].query_aggregate(account, 1, height)
+        lambda: QueryAnswer(
+            request=agg_request,
+            payload=issuer.indexes["aggregate"].query_aggregate(
+                account, 1, height
+            ),
+        )
     )
     ok, verify_ms = _timed(
-        lambda: verify_aggregate_answer(issuer.index_root("aggregate"), agg_answer)
+        lambda: verify(agg_request, agg_answer, issuer.index_root)
     )
     assert ok
     described = (
-        f"{agg_answer.aggregate.count} pts" if agg_answer.aggregate else "empty"
+        f"{agg_answer.payload.aggregate.count} pts"
+        if agg_answer.payload.aggregate else "empty"
     )
     rows.append(
         ["aggregate SUM/AVG", described,
          round(latency, 3), agg_answer.proof_size_bytes(), round(verify_ms, 3)]
     )
 
+    range_request = ValueRangeQuery(index="range", lo=900, hi=1100)
     range_answer, latency = _timed(
-        lambda: issuer.indexes["range"].query_range(900, 1100)
+        lambda: QueryAnswer(
+            request=range_request,
+            payload=issuer.indexes["range"].query_range(900, 1100),
+        )
     )
     ok, verify_ms = _timed(
-        lambda: verify_value_range_answer(issuer.index_root("range"), range_answer)
+        lambda: verify(range_request, range_answer, issuer.index_root)
     )
     assert ok
     rows.append(
-        ["value range", f"{len(range_answer.matches)} accounts",
+        ["value range", f"{len(range_answer.payload.matches)} accounts",
          round(latency, 3), range_answer.proof_size_bytes(), round(verify_ms, 3)]
     )
 

@@ -25,6 +25,7 @@ from repro.core import (
     compute_expected_measurement,
 )
 from repro.crypto import generate_keypair
+from repro.query import AggregateQuery, QueryAnswer
 from repro.query.indexes import BalanceAggregateIndexSpec
 from repro.sgx.attestation import AttestationService
 
@@ -78,28 +79,44 @@ def main() -> None:
         tip.index_roots["balances"], tip.index_certificates["balances"],
     )
 
-    # Analytics: alice's balance statistics over the whole year.
-    answer = issuer.indexes["balances"].query_aggregate("alice", 1, builder.height)
-    agg = answer.aggregate
+    # Analytics through the typed API: alice's balance statistics over
+    # the whole year.
+    request = AggregateQuery(index="balances", account="alice",
+                             t_from=1, t_to=builder.height)
+    answer = QueryAnswer(
+        request=request,
+        payload=issuer.indexes["balances"].query_aggregate(
+            "alice", 1, builder.height
+        ),
+    )
+    agg = answer.payload.aggregate
     print(f"\nalice's checking balance across {agg.count} updates:")
-    print(f"  min {agg.minimum}, max {agg.maximum}, avg {answer.average:.1f}")
+    print(f"  min {agg.minimum}, max {agg.maximum}, "
+          f"avg {answer.payload.average:.1f}")
     print(f"  proof size: {answer.proof_size_bytes():,} bytes "
           "(flat in the window width — only boundary paths open)")
-    assert client.verify_aggregate("balances", answer)
+    assert client.verify_answer(request, answer)
     print("  -> verified against the certified index root")
 
     # Quarter 1 only.
-    quarterly = issuer.indexes["balances"].query_aggregate("alice", 1, 7)
-    q = quarterly.aggregate
+    q1_request = AggregateQuery(index="balances", account="alice",
+                                t_from=1, t_to=7)
+    quarterly = QueryAnswer(
+        request=q1_request,
+        payload=issuer.indexes["balances"].query_aggregate("alice", 1, 7),
+    )
+    q = quarterly.payload.aggregate
     print(f"\nQ1 ({q.count} updates): min {q.minimum}, max {q.maximum}, "
-          f"avg {quarterly.average:.1f}")
-    assert client.verify_aggregate("balances", quarterly)
+          f"avg {quarterly.payload.average:.1f}")
+    assert client.verify_answer(q1_request, quarterly)
 
     # A lying analytics provider inflates the average: caught.
     forged = replace(
-        answer, aggregate=replace(agg, total=agg.total + 10_000)
+        answer,
+        payload=replace(answer.payload,
+                        aggregate=replace(agg, total=agg.total + 10_000)),
     )
-    assert not client.verify_aggregate("balances", forged)
+    assert not client.verify_answer(request, forged)
     print("\nA provider inflating the SUM by 10,000 is rejected.")
 
 

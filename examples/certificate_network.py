@@ -27,6 +27,7 @@ from repro.net import (
     MessageBus,
     NetworkNode,
 )
+from repro.query import HistoryQuery
 from repro.query.indexes import AccountHistoryIndexSpec
 from repro.sgx.attestation import AttestationService
 
@@ -118,11 +119,15 @@ def main() -> None:
         print(f"  client{index}: tip height {client.latest_header.height}, "
               f"stores {client.storage_bytes():,} bytes")
 
-    # Query the SP and verify against the certificate-tracked root.
-    answer = provider.query_history("history", "i0:k0", 1, builder.height)
+    # Query the SP through the typed API and verify against the
+    # certificate-tracked root with the unified entry point.
+    request = HistoryQuery(index="history", account="i0:k0", t_from=1,
+                           t_to=builder.height)
+    answer = provider.execute(request)
     _, client0 = clients[0]
-    print(f"\nSP answered a history query with {len(answer.versions)} versions; "
-          f"client verification: {client0.verify_history('history', answer)}")
+    print(f"\nSP answered a history query with {len(answer.payload.versions)} "
+          f"versions; client verification: "
+          f"{client0.verify_answer(request, answer)}")
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from repro.core import (
     compute_expected_measurement,
 )
 from repro.crypto import generate_keypair
+from repro.query import HistoryQuery, QueryAnswer
 from repro.query.indexes import AccountHistoryIndexSpec
 from repro.sgx.attestation import AttestationService
 
@@ -83,28 +84,44 @@ def main() -> None:
     )
     print("Superlight client validated the chain and the index certificate.")
 
-    # Query: history of acct2 between blocks 10 and 30.
-    # (The CI doubles as the SP here; see certificate_network.py for a
-    # topology where they are separate nodes.)
-    answer = issuer.indexes["history"].query_history("acct2", 10, 30)
+    # Query through the typed API: history of acct2 between blocks 10
+    # and 30.  (The CI doubles as the SP here; see certificate_network.py
+    # and faulty_network.py for topologies where they are separate nodes.)
+    request = HistoryQuery(index="history", account="acct2", t_from=10, t_to=30)
+    answer = QueryAnswer(
+        request=request,
+        payload=issuer.indexes["history"].query_history("acct2", 10, 30),
+    )
     print(f"\nQuery: versions of acct2 in window [10, 30]")
-    for timestamp, value in answer.versions:
+    for timestamp, value in answer.payload.versions:
         print(f"  block {timestamp}: {value.decode()}")
     print(f"  proof size: {answer.proof_size_bytes():,} bytes")
 
-    assert client.verify_history("history", answer)
+    assert client.verify_answer(request, answer)
     print("  -> verified against the certified index root")
 
     # A malicious SP drops the middle version...
-    tampered = replace(answer, versions=answer.versions[:-1])
-    assert not client.verify_history("history", tampered)
+    versions = answer.payload.versions
+    tampered = replace(answer, payload=replace(answer.payload,
+                                               versions=versions[:-1]))
+    assert not client.verify_answer(request, tampered)
     print("A tampered answer (dropped version) is rejected.")
 
     # ...or forges a value.
-    forged_versions = ((answer.versions[0][0], b"forged"),) + answer.versions[1:]
-    forged = replace(answer, versions=forged_versions)
-    assert not client.verify_history("history", forged)
+    forged_versions = ((versions[0][0], b"forged"),) + versions[1:]
+    forged = replace(answer, payload=replace(answer.payload,
+                                             versions=forged_versions))
+    assert not client.verify_answer(request, forged)
     print("A forged answer (altered value) is rejected.")
+
+    # ...or answers a *different* (cheaper) query: the request echo
+    # check catches it even though the proof itself verifies.
+    narrower = QueryAnswer(
+        request=replace(request, t_to=20),
+        payload=issuer.indexes["history"].query_history("acct2", 10, 20),
+    )
+    assert not client.verify_answer(request, narrower)
+    print("An answer to a different query than asked is rejected.")
 
 
 if __name__ == "__main__":

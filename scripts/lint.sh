@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Lint the library with ruff (configured in pyproject.toml).
+#
+# The library has no lint-time dependencies: when ruff is not
+# installed (e.g. the offline test container), this skips with a
+# message instead of failing, so `make lint` is always safe to run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    exec ruff check src tests benchmarks examples
+elif python -m ruff --version >/dev/null 2>&1; then
+    exec python -m ruff check src tests benchmarks examples
+else
+    echo "lint: ruff is not installed; skipping (config in pyproject.toml)"
+fi

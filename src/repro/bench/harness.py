@@ -24,7 +24,6 @@ from repro.chain.genesis import make_genesis
 from repro.chain.vm import VM
 from repro.contracts import BLOCKBENCH
 from repro.core.issuer import CertificateIssuer
-from repro.core.updateproof import UpdateProof
 from repro.query.indexes import AuthenticatedIndexSpec
 from repro.sgx.attestation import AttestationService
 

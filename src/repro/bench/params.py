@@ -18,7 +18,7 @@ EXPERIMENTS.md records which profile produced each reported number.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True, slots=True)

@@ -9,7 +9,7 @@ certificate construction on top of validation.
 
 from __future__ import annotations
 
-from repro.chain.block import Block, ZERO_HASH
+from repro.chain.block import Block
 from repro.chain.consensus import ProofOfWork
 from repro.chain.executor import ExecutionResult, TransactionExecutor
 from repro.chain.state import StateStore

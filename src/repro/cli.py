@@ -5,6 +5,10 @@ Commands:
 * ``info`` — print the library inventory and version.
 * ``demo`` — a one-minute end-to-end demonstration: mine, certify,
   bootstrap a superlight client, run a verifiable query.
+* ``demo-network`` — the same flow over the simulated network: a
+  remote superlight client bootstraps and queries two Service
+  Providers over RPC while a fault injector drops messages to the
+  first one.
 * ``selftest`` — a fast certification round trip with tamper checks;
   exits non-zero on any failure (useful as a deployment smoke test).
 """
@@ -16,6 +20,16 @@ import sys
 import time
 
 from repro import __version__
+
+
+def _fresh_vm():
+    from repro.chain.vm import VM
+    from repro.contracts import BLOCKBENCH
+
+    vm = VM()
+    for factory in BLOCKBENCH.values():
+        vm.deploy(factory())
+    return vm
 
 
 def _build_world(blocks: int = 10, block_size: int = 3):
@@ -112,6 +126,66 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_demo_network(args: argparse.Namespace) -> int:
+    from repro.core import (
+        IssuerService,
+        RemoteSuperlightClient,
+        compute_expected_measurement,
+    )
+    from repro.net import FaultInjector, LinkFaults, MessageBus, RetryPolicy
+    from repro.query import HistoryQuery, QueryService, QueryServiceProvider
+
+    print(f"Mining and certifying {args.blocks} blocks...")
+    builder, issuer, ias, spec, genesis, vm = _build_world(blocks=args.blocks)
+
+    from repro.chain.genesis import make_genesis
+
+    sp_genesis, sp_state = make_genesis(network="cli")
+    provider = QueryServiceProvider(
+        sp_genesis, sp_state, _fresh_vm(), builder.pow, [spec]
+    )
+    for block in builder.blocks[1:]:
+        provider.ingest_block(block)
+
+    bus = MessageBus(default_latency_ms=20.0)
+    injector = FaultInjector(seed=args.seed)
+    injector.set_link("client", "sp1", LinkFaults(drop_rate=args.drop))
+    injector.set_link("sp1", "client", LinkFaults(drop_rate=args.drop))
+    bus.install_faults(injector)
+    IssuerService(bus, "ci", issuer)
+    QueryService(bus, "sp1", provider)
+    QueryService(bus, "sp2", provider)
+
+    measurement = compute_expected_measurement(
+        genesis.header.header_hash(), ias.public_key, _fresh_vm(),
+        builder.pow.difficulty_bits, {spec.name: spec},
+    )
+    client = RemoteSuperlightClient(
+        bus, "client", measurement, ias.public_key,
+        issuers=["ci"], providers=["sp1", "sp2"],
+        policy=RetryPolicy(timeout_ms=200.0, max_attempts=3),
+    )
+    print(f"Remote client bootstrapping over RPC "
+          f"(dropping {args.drop:.0%} of messages to/from sp1)...")
+    client.bootstrap()
+    print(f"  adopted certified tip at height {client.latest_header.height}, "
+          f"storing {client.storage_bytes():,} bytes")
+
+    request = HistoryQuery(
+        index="history", account="acct1", t_from=1, t_to=builder.height
+    )
+    answer = client.query(request)
+    print(f"Verified query over RPC: {len(answer.payload.versions)} versions "
+          f"of acct1, proof {answer.proof_size_bytes():,} bytes.")
+    print(f"  retries/timeouts: {client.rpc.timeouts}, "
+          f"failovers: {client.failovers}, "
+          f"integrity failures: {client.integrity_failures}")
+    print(f"  virtual network time: {bus.clock_ms:.0f} ms")
+    for link, counts in injector.summary().items():
+        print(f"  {link}: {counts}")
+    return 0
+
+
 def cmd_selftest(_: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -159,9 +233,24 @@ def main(argv: list[str] | None = None) -> int:
     subparsers.add_parser("info", help="print the library inventory")
     demo = subparsers.add_parser("demo", help="end-to-end demonstration")
     demo.add_argument("--blocks", type=int, default=10)
+    network = subparsers.add_parser(
+        "demo-network",
+        help="remote client over RPC with fault injection and SP failover",
+    )
+    network.add_argument("--blocks", type=int, default=8)
+    network.add_argument(
+        "--drop", type=float, default=0.3,
+        help="drop rate on the client<->sp1 links (default 0.3)",
+    )
+    network.add_argument("--seed", type=int, default=7)
     subparsers.add_parser("selftest", help="fast certification round trip")
     args = parser.parse_args(argv)
-    handlers = {"info": cmd_info, "demo": cmd_demo, "selftest": cmd_selftest}
+    handlers = {
+        "info": cmd_info,
+        "demo": cmd_demo,
+        "demo-network": cmd_demo_network,
+        "selftest": cmd_selftest,
+    }
     return handlers[args.command](args)
 
 

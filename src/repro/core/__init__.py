@@ -9,24 +9,33 @@
 * :mod:`enclave_program` — the in-enclave program: ``ecall_sig_gen``,
   ``blk_verify_t``, ``cert_verify_t`` (Alg. 2), plus the augmented
   (Alg. 4) and hierarchical (Alg. 5) entry points.
-* :mod:`issuer` — the CI's outside-enclave side: ``gen_cert`` (Alg. 1)
-  and the index-certification drivers.
+* :mod:`issuer` — the CI's outside-enclave side: ``gen_cert`` (Alg. 1),
+  the index-certification drivers, and the networked ``IssuerService``.
 * :mod:`superlight` — the superlight client: ``validate_chain``
-  (Alg. 3) and verifiable-query result checking.
+  (Alg. 3) and verifiable-query result checking, locally
+  (``SuperlightClient``) or over RPC with failover
+  (``RemoteSuperlightClient``).
 """
 
 from repro.core.certificate import Certificate
 from repro.core.digest import block_digest, index_digest
 from repro.core.enclave_program import DCertEnclaveProgram
-from repro.core.issuer import CertificateIssuer
+from repro.core.issuer import CertificateIssuer, CertifiedTip, IssuerService
 from repro.core.statesync import StateSnapshot, bootstrap_full_node, export_snapshot
-from repro.core.superlight import SuperlightClient, compute_expected_measurement
+from repro.core.superlight import (
+    RemoteSuperlightClient,
+    SuperlightClient,
+    compute_expected_measurement,
+)
 from repro.core.updateproof import UpdateProof
 
 __all__ = [
     "Certificate",
     "CertificateIssuer",
+    "CertifiedTip",
     "DCertEnclaveProgram",
+    "IssuerService",
+    "RemoteSuperlightClient",
     "StateSnapshot",
     "SuperlightClient",
     "UpdateProof",

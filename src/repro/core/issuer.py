@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.chain.block import Block
+from repro.chain.block import Block, BlockHeader
 from repro.chain.consensus import ProofOfWork
 from repro.chain.node import FullNode
 from repro.chain.state import StateStore
@@ -34,7 +34,7 @@ from repro.core.enclave_program import DCertEnclaveProgram
 from repro.core.updateproof import UpdateProof
 from repro.crypto import PublicKey
 from repro.crypto.hashing import Digest
-from repro.errors import CertificateError
+from repro.errors import CertificateError, ServiceUnavailableError
 from repro.query.indexes import (
     AccountHistoryIndexSpec,
     AggregateHistoryIndex,
@@ -46,7 +46,7 @@ from repro.query.indexes import (
     ValueRangeIndex,
     ValueRangeIndexSpec,
 )
-from repro.sgx.attestation import AttestationService, WELL_KNOWN_IAS
+from repro.sgx.attestation import AttestationReport, AttestationService, WELL_KNOWN_IAS
 from repro.sgx.costs import SGXCostModel
 from repro.sgx.enclave import EnclaveHost
 from repro.sgx.platform import SGXPlatform
@@ -74,6 +74,35 @@ class CertifiedBlock:
     index_certificates: dict[str, Certificate] = field(default_factory=dict)
     index_roots: dict[str, Digest] = field(default_factory=dict)
     augmented_certificates: dict[str, Certificate] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class CertifiedTip:
+    """What a remote client needs from the CI's latest certified block.
+
+    Unlike :class:`CertifiedBlock` it omits the block body — a
+    superlight client only ever stores the header — so this is the
+    constant-size object :class:`IssuerService` serves over RPC.
+    """
+
+    header: BlockHeader
+    certificate: Certificate
+    index_certificates: dict[str, Certificate]
+    index_roots: dict[str, Digest]
+
+
+@dataclass(frozen=True, slots=True)
+class AttestationEvidence:
+    """The CI's identity material, served to bootstrapping clients.
+
+    The client never *trusts* this — it re-derives the expected
+    measurement from published sources and re-verifies the report — but
+    serving it lets operators inspect what a CI claims to run.
+    """
+
+    measurement: Digest
+    pk_enc: PublicKey
+    report: AttestationReport
 
 
 class CertificateIssuer:
@@ -284,6 +313,63 @@ class CertificateIssuer:
 
     def index_certificate(self, name: str) -> Certificate | None:
         return self._index_certs[name]
+
+
+class IssuerService:
+    """The CI's networked face: serves certified tips over RPC (Fig. 2).
+
+    Methods:
+
+    * ``latest_tip`` — the newest :class:`CertifiedTip` (header,
+      block certificate, index certificates and roots);
+    * ``tip_at`` — the certified tip at a given height, for clients
+      catching up or auditing;
+    * ``evidence`` — the CI's :class:`AttestationEvidence`.
+
+    Raises :class:`~repro.errors.ServiceUnavailableError` (propagated
+    to the caller through the RPC error channel) while the CI has not
+    certified any block yet under the hierarchical scheme.
+    """
+
+    def __init__(self, bus, name: str, issuer: CertificateIssuer) -> None:
+        from repro.net.rpc import RpcServer
+
+        self.issuer = issuer
+        self.server = RpcServer(bus, name)
+        self.server.register("latest_tip", self._latest_tip)
+        self.server.register("tip_at", self._tip_at)
+        self.server.register("evidence", self._evidence)
+
+    def _certified_tip(self, certified: CertifiedBlock) -> CertifiedTip:
+        if certified.certificate is None:
+            raise ServiceUnavailableError(
+                "no hierarchical block certificate for this block "
+                "(augmented-only issuer)"
+            )
+        return CertifiedTip(
+            header=certified.block.header,
+            certificate=certified.certificate,
+            index_certificates=dict(certified.index_certificates),
+            index_roots=dict(certified.index_roots),
+        )
+
+    def _latest_tip(self, _argument: object) -> CertifiedTip:
+        if not self.issuer.certified:
+            raise ServiceUnavailableError("issuer has not certified any block")
+        return self._certified_tip(self.issuer.certified[-1])
+
+    def _tip_at(self, height: object) -> CertifiedTip:
+        for certified in self.issuer.certified:
+            if certified.block.header.height == height:
+                return self._certified_tip(certified)
+        raise ServiceUnavailableError(f"no certified block at height {height!r}")
+
+    def _evidence(self, _argument: object) -> AttestationEvidence:
+        return AttestationEvidence(
+            measurement=self.issuer.measurement,
+            pk_enc=self.issuer.pk_enc,
+            report=self.issuer.report,
+        )
 
 
 def attach_lazy_proof_service(issuer: CertificateIssuer) -> None:

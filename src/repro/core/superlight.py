@@ -100,6 +100,14 @@ class SuperlightClient:
         """Check a current-value range answer against the certified root."""
         return verify_value_range_answer(self.certified_index_root(name), answer)
 
+    def verify_answer(self, request, answer) -> bool:
+        """Unified check of a typed :class:`repro.query.api.QueryAnswer`
+        against the certified roots — the one verification entry point
+        mirroring ``QueryServiceProvider.execute``."""
+        from repro.query.verifier import verify
+
+        return verify(request, answer, self.certified_index_root)
+
     # -- persistence ---------------------------------------------------------------
 
     def to_json(self) -> str:
@@ -188,6 +196,170 @@ class SuperlightClient:
         if header.height != self.latest_header.height:
             return header.height > self.latest_header.height
         return header.header_hash() < self.latest_header.header_hash()
+
+
+class RemoteSuperlightClient:
+    """A superlight client that lives entirely on the network (Fig. 2).
+
+    Wraps a :class:`SuperlightClient` behind an RPC client: it
+    bootstraps and syncs certified tips from one or more
+    :class:`repro.core.issuer.IssuerService` endpoints and runs typed
+    queries against one or more :class:`repro.query.provider.QueryService`
+    endpoints, degrading gracefully:
+
+    * per-call timeouts with bounded exponential-backoff retries come
+      from the RPC layer (:class:`repro.net.rpc.RetryPolicy`);
+    * every response is re-verified against the certified roots — a
+      corrupted or forged response is *detected and retried*, never
+      silently accepted;
+    * on repeated timeouts or integrity failures the client fails over
+      to the next endpoint, and raises
+      :class:`~repro.errors.ServiceUnavailableError` only once every
+      endpoint is exhausted (bounded work, no hanging).
+    """
+
+    def __init__(
+        self,
+        bus,
+        name: str,
+        expected_measurement: Digest,
+        ias_public_key: PublicKey,
+        *,
+        issuers: list[str],
+        providers: list[str],
+        policy=None,
+        integrity_retries: int = 2,
+    ) -> None:
+        from repro.net.rpc import RetryPolicy, RpcClient
+
+        if not issuers or not providers:
+            raise CertificateError(
+                "a remote client needs at least one issuer and one provider"
+            )
+        self.client = SuperlightClient(expected_measurement, ias_public_key)
+        self.rpc = RpcClient(bus, name, policy or RetryPolicy())
+        self.issuers = list(issuers)
+        self.providers = list(providers)
+        self.integrity_retries = integrity_retries
+        self.failovers = 0
+        self.integrity_failures = 0
+
+    # -- certificate sync ---------------------------------------------------
+
+    def bootstrap(self) -> None:
+        """Fetch and adopt a first certified tip (Alg. 3 over RPC)."""
+        self.sync()
+
+    def sync(self):
+        """Pull the latest certified tip, trying issuers in order.
+
+        Returns the adopted :class:`repro.core.issuer.CertifiedTip`.
+        A tip that fails certificate verification counts as an
+        integrity failure (tampered in flight, or a lying CI) and
+        triggers failover, exactly like a timeout.
+        """
+        from repro.core.issuer import CertifiedTip
+        from repro.errors import (
+            NetworkError,
+            ResponseIntegrityError,
+            ServiceUnavailableError,
+        )
+
+        last_error: Exception | None = None
+        for issuer_name in self.issuers:
+            for _attempt in range(self.integrity_retries):
+                try:
+                    tip = self.rpc.call(issuer_name, "latest_tip")
+                except ResponseIntegrityError as exc:
+                    self.integrity_failures += 1
+                    last_error = exc
+                    continue
+                except NetworkError as exc:
+                    last_error = exc
+                    break  # endpoint down/unreachable: fail over
+                try:
+                    if not isinstance(tip, CertifiedTip):
+                        raise CertificateError(
+                            f"issuer returned {type(tip).__name__}, "
+                            "not a certified tip"
+                        )
+                    self.client.validate_chain(tip.header, tip.certificate)
+                    for index_name, cert in tip.index_certificates.items():
+                        self.client.validate_index_certificate(
+                            index_name,
+                            tip.header,
+                            tip.index_roots[index_name],
+                            cert,
+                        )
+                except (CertificateError, KeyError) as exc:
+                    self.integrity_failures += 1
+                    last_error = ResponseIntegrityError(
+                        f"certified tip from {issuer_name!r} failed "
+                        f"verification: {exc}"
+                    )
+                    continue
+                return tip
+            self.failovers += 1
+        raise ServiceUnavailableError(
+            "no issuer returned a verifiable certified tip"
+        ) from last_error
+
+    # -- queries ------------------------------------------------------------
+
+    def query(self, request):
+        """Run one typed query, verifying the answer before returning.
+
+        Tries each provider in order; per provider, an unverifiable
+        answer is retried ``integrity_retries`` times (the fault may be
+        transient line corruption) before failing over.  Raises
+        :class:`~repro.errors.ServiceUnavailableError` when no provider
+        yields a verifiable answer.
+        """
+        from repro.errors import (
+            NetworkError,
+            ResponseIntegrityError,
+            ServiceUnavailableError,
+        )
+        from repro.query.api import QueryAnswer
+
+        last_error: Exception | None = None
+        for provider_name in self.providers:
+            for _attempt in range(self.integrity_retries):
+                try:
+                    answer = self.rpc.call(provider_name, "execute", request)
+                except ResponseIntegrityError as exc:
+                    self.integrity_failures += 1
+                    last_error = exc
+                    continue
+                except NetworkError as exc:
+                    last_error = exc
+                    break  # endpoint down/unreachable: fail over
+                if isinstance(answer, QueryAnswer) and self.client.verify_answer(
+                    request, answer
+                ):
+                    return answer
+                self.integrity_failures += 1
+                last_error = ResponseIntegrityError(
+                    f"answer from {provider_name!r} failed verification "
+                    "against the certified index roots"
+                )
+            self.failovers += 1
+        raise ServiceUnavailableError(
+            f"no provider returned a verifiable answer to "
+            f"{type(request).__name__}"
+        ) from last_error
+
+    # -- delegation ---------------------------------------------------------
+
+    @property
+    def latest_header(self) -> BlockHeader | None:
+        return self.client.latest_header
+
+    def certified_index_root(self, name: str) -> Digest:
+        return self.client.certified_index_root(name)
+
+    def storage_bytes(self) -> int:
+        return self.client.storage_bytes()
 
 
 def compute_expected_measurement(

@@ -56,3 +56,31 @@ class CertificateError(ReproError):
 
 class QueryError(ReproError):
     """A verifiable query failed processing or result verification."""
+
+
+class NetworkError(ReproError):
+    """Base class for failures in the simulated network / RPC layer."""
+
+
+class WireError(NetworkError):
+    """A message could not be encoded to or decoded from wire bytes."""
+
+
+class RpcTimeoutError(NetworkError):
+    """An RPC call got no response within its deadline (after retries)."""
+
+
+class ServiceUnavailableError(NetworkError):
+    """Every candidate service endpoint failed within bounded retries."""
+
+
+class ResponseIntegrityError(NetworkError):
+    """A response arrived but failed integrity checks (corrupted wire
+    bytes, mismatched request echo, or proof verification against the
+    certified roots) — the paper's untrusted-SP threat model surfacing
+    at the network layer."""
+
+
+class RemoteCallError(NetworkError):
+    """The remote endpoint reported a failure that has no local
+    exception type to map back onto."""

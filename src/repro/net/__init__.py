@@ -1,19 +1,38 @@
-"""In-process network simulation.
+"""In-process network simulation, now with a request/response layer.
 
 DCert's certification workflow (Fig. 2, step 3) has the CI *broadcast*
 certificates to the blockchain network, where superlight clients pick
-them up.  This package provides a deterministic in-process message bus
-with a simple latency model, enough to exercise the full
-publish/subscribe path in examples and integration tests without
-sockets.
+them up; its query workflow has clients *ask* untrusted Service
+Providers for verifiable answers.  This package provides both halves,
+deterministically and without sockets:
+
+* :mod:`bus` — the virtual-clock message bus: pub/sub broadcast,
+  unicast :meth:`~repro.net.bus.MessageBus.send`, scheduled callbacks,
+  and bounded draining (``run_for``/``step``).
+* :mod:`rpc` — request/response RPC with per-call timeouts and bounded
+  exponential-backoff retries.
+* :mod:`wire` — the dataclass ⇄ bytes codec RPC payloads cross the
+  simulated network as.
+* :mod:`faults` — per-link drop/delay/duplicate/corrupt injection with
+  a seeded RNG, for failure-path tests and demos.
+* :mod:`messages` — broadcast message types (blocks, certificates).
 """
 
 from repro.net.bus import MessageBus, NetworkNode
+from repro.net.faults import FaultInjector, LinkFaults
 from repro.net.messages import BlockAnnouncement, CertificateAnnouncement
+from repro.net.rpc import RetryPolicy, RpcClient, RpcRequest, RpcResponse, RpcServer
 
 __all__ = [
     "BlockAnnouncement",
     "CertificateAnnouncement",
+    "FaultInjector",
+    "LinkFaults",
     "MessageBus",
     "NetworkNode",
+    "RetryPolicy",
+    "RpcClient",
+    "RpcRequest",
+    "RpcResponse",
+    "RpcServer",
 ]

@@ -1,0 +1,142 @@
+"""Deterministic per-link fault injection for the simulated network.
+
+The paper's deployment model (Fig. 2) pits superlight clients against
+*untrusted* Service Providers reached over an unreliable network.  A
+:class:`FaultInjector` installed on a :class:`repro.net.bus.MessageBus`
+(via :meth:`~repro.net.bus.MessageBus.install_faults`) can, per
+directed link:
+
+* **drop** a delivery (lost packet),
+* **delay** it by a fixed amount plus bounded jitter (slow link),
+* **duplicate** it (retransmission artifacts), and
+* **corrupt** it (bit rot or a tampering middlebox) — by default via
+  the message's own ``corrupted(rng)`` hook (see
+  :class:`repro.net.rpc.RpcResponse`), or a custom per-link corrupter.
+
+All randomness comes from one seeded :class:`random.Random`, so a given
+(seed, traffic) pair replays the exact same fault schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+Corrupter = Callable[[object, random.Random], object]
+
+
+def flip_hex_digit(data: bytes, rng: random.Random) -> bytes:
+    """Corrupt wire bytes by rewriting one hex-digit character.
+
+    Wire encodings (see :mod:`repro.net.wire`) carry digests, keys, and
+    signatures as hex strings, so flipping a hex digit yields a payload
+    that usually still *parses* but no longer verifies — the
+    interesting corruption for an integrity-checking client.  Falls
+    back to flipping the low bit of an arbitrary byte when no hex digit
+    is present.
+    """
+    positions = [
+        index for index, b in enumerate(data) if b in b"0123456789abcdef"
+    ]
+    if not positions:
+        if not data:
+            return data
+        index = rng.randrange(len(data))
+        return data[:index] + bytes([data[index] ^ 1]) + data[index + 1 :]
+    index = rng.choice(positions)
+    alternatives = [d for d in b"0123456789abcdef" if d != data[index]]
+    return data[:index] + bytes([rng.choice(alternatives)]) + data[index + 1 :]
+
+
+def default_corrupter(message: object, rng: random.Random) -> object:
+    """Corrupt via the message's own ``corrupted`` hook when it has one."""
+    corrupted = getattr(message, "corrupted", None)
+    if callable(corrupted):
+        return corrupted(rng)
+    return message
+
+
+@dataclass
+class LinkFaults:
+    """Fault profile for one directed link (or the default profile)."""
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    extra_delay_ms: float = 0.0
+    jitter_ms: float = 0.0
+    corrupter: Corrupter | None = None
+
+
+@dataclass
+class LinkStats:
+    """What the injector did to one directed link's traffic."""
+
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+
+
+@dataclass
+class FaultInjector:
+    """Applies per-link :class:`LinkFaults` to every bus delivery."""
+
+    seed: int = 0
+    default: LinkFaults | None = None
+    _rng: random.Random = field(init=False, repr=False)
+    _links: dict[tuple[str, str], LinkFaults] = field(
+        init=False, default_factory=dict
+    )
+    stats: dict[tuple[str, str], LinkStats] = field(
+        init=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def set_link(self, sender: str, receiver: str, faults: LinkFaults) -> None:
+        self._links[(sender, receiver)] = faults
+
+    def clear_link(self, sender: str, receiver: str) -> None:
+        self._links.pop((sender, receiver), None)
+
+    def apply(
+        self, sender: str, receiver: str, message: object
+    ) -> list[tuple[float, object]]:
+        """The (extra-delay, message) deliveries for one enqueued send.
+
+        An empty list means the message was dropped; two entries mean
+        it was duplicated.  Called by the bus for every delivery on a
+        faulted link.
+        """
+        faults = self._links.get((sender, receiver), self.default)
+        if faults is None:
+            return [(0.0, message)]
+        stats = self.stats.setdefault((sender, receiver), LinkStats())
+        if faults.drop_rate and self._rng.random() < faults.drop_rate:
+            stats.dropped += 1
+            return []
+        delay = faults.extra_delay_ms
+        if faults.jitter_ms:
+            delay += self._rng.uniform(0.0, faults.jitter_ms)
+        if faults.corrupt_rate and self._rng.random() < faults.corrupt_rate:
+            corrupter = faults.corrupter or default_corrupter
+            tampered = corrupter(message, self._rng)
+            if tampered is not message:
+                stats.corrupted += 1
+            message = tampered
+        deliveries = [(delay, message)]
+        if faults.duplicate_rate and self._rng.random() < faults.duplicate_rate:
+            stats.duplicated += 1
+            deliveries.append((delay + faults.jitter_ms + 1.0, message))
+        stats.delivered += len(deliveries)
+        return deliveries
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Per-link counters, keyed ``"sender->receiver"`` for display."""
+        return {
+            f"{sender}->{receiver}": vars(stats).copy()
+            for (sender, receiver), stats in sorted(self.stats.items())
+        }

@@ -1,0 +1,263 @@
+"""Request/response RPC over the deterministic message bus.
+
+The paper's Fig. 2 deployment has constant-state clients *asking*
+untrusted Service Providers and Certificate Issuers for data, which is
+a request/response contract — not the fire-and-forget broadcast the
+bus gives us natively.  This module layers that contract on top:
+
+* :class:`RpcServer` — joins the bus under a service name, decodes
+  :class:`RpcRequest` envelopes, dispatches to registered handlers,
+  and replies with :class:`RpcResponse` envelopes.  A request whose
+  payload fails to decode is *dropped* (like a checksum-failed packet):
+  the caller's timeout-and-retry path handles it.
+* :class:`RpcClient` — sends a request, drains the bus up to a
+  virtual-clock deadline, and retries with bounded exponential backoff
+  (:class:`RetryPolicy`).  Exhausted retries raise
+  :class:`repro.errors.RpcTimeoutError`; a response that cannot be
+  decoded raises :class:`repro.errors.ResponseIntegrityError`.
+
+Payloads cross the wire as bytes (:mod:`repro.net.wire`), so a
+:class:`repro.net.faults.FaultInjector` can corrupt them exactly as a
+real network would.  Delivery is at-least-once: retries and duplicated
+packets may re-execute a handler, so handlers must be read-only or
+idempotent (every service in this library serves reads).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.errors import (
+    RemoteCallError,
+    ReproError,
+    ResponseIntegrityError,
+    RpcTimeoutError,
+)
+from repro.net import wire
+from repro.net.bus import MessageBus, NetworkNode
+from repro.net.faults import flip_hex_digit
+
+
+def rpc_topic(name: str) -> str:
+    """The unicast topic an endpoint named ``name`` listens on."""
+    return f"rpc:{name}"
+
+
+@dataclass(frozen=True, slots=True)
+class RpcRequest:
+    """One call envelope: who asks, what method, encoded arguments."""
+
+    request_id: int
+    sender: str
+    method: str
+    payload: bytes
+
+    def corrupted(self, rng: random.Random) -> "RpcRequest":
+        return replace(self, payload=flip_hex_digit(self.payload, rng))
+
+
+@dataclass(frozen=True, slots=True)
+class RpcResponse:
+    """The reply envelope; ``payload`` encodes the result or the error."""
+
+    request_id: int
+    sender: str
+    ok: bool
+    payload: bytes
+
+    def corrupted(self, rng: random.Random) -> "RpcResponse":
+        return replace(self, payload=flip_hex_digit(self.payload, rng))
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Per-call timeout and bounded exponential backoff schedule."""
+
+    timeout_ms: float = 500.0
+    max_attempts: int = 4
+    backoff_base_ms: float = 50.0
+    backoff_factor: float = 2.0
+    backoff_max_ms: float = 1_000.0
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Backoff to wait after the ``attempt``-th failure (0-based)."""
+        return min(
+            self.backoff_base_ms * self.backoff_factor**attempt,
+            self.backoff_max_ms,
+        )
+
+
+Handler = Callable[[object], object]
+
+
+class RpcServer:
+    """A named service endpoint: method registry + envelope plumbing."""
+
+    def __init__(self, bus: MessageBus, name: str) -> None:
+        self.bus = bus
+        self.name = name
+        self.node = bus.join(NetworkNode(name, record_limit=0))
+        self.node.on(rpc_topic(name), self._handle)
+        self._methods: dict[str, Handler] = {}
+        self.requests_served = 0
+        self.requests_dropped = 0
+
+    def register(self, method: str, handler: Handler) -> None:
+        """Expose ``handler`` (decoded-payload -> result object)."""
+        self._methods[method] = handler
+
+    def _handle(self, message: object) -> None:
+        if not isinstance(message, RpcRequest):
+            self.requests_dropped += 1
+            return
+        try:
+            argument = wire.decode(message.payload)
+        except ReproError:
+            # A corrupted request is indistinguishable from line noise;
+            # drop it and let the client's retry path recover.
+            self.requests_dropped += 1
+            return
+        handler = self._methods.get(message.method)
+        if handler is None:
+            self._reply(
+                message, ok=False,
+                error=("RemoteCallError", f"unknown method {message.method!r}"),
+            )
+            return
+        try:
+            result = handler(argument)
+        except ReproError as exc:
+            self._reply(
+                message, ok=False, error=(type(exc).__name__, str(exc))
+            )
+            return
+        self.requests_served += 1
+        self._reply(message, ok=True, result=result)
+
+    def _reply(
+        self,
+        request: RpcRequest,
+        *,
+        ok: bool,
+        result: object = None,
+        error: tuple[str, str] | None = None,
+    ) -> None:
+        payload = wire.encode(result if ok else {"type": error[0], "message": error[1]})
+        self.bus.send(
+            self.name,
+            request.sender,
+            rpc_topic(request.sender),
+            RpcResponse(
+                request_id=request.request_id,
+                sender=self.name,
+                ok=ok,
+                payload=payload,
+            ),
+        )
+
+
+class RpcClient:
+    """Blocking (virtual-time) calls with timeout, retry, and backoff."""
+
+    def __init__(
+        self, bus: MessageBus, name: str, policy: RetryPolicy | None = None
+    ) -> None:
+        self.bus = bus
+        self.name = name
+        self.policy = policy or RetryPolicy()
+        self.node = bus.join(NetworkNode(name, record_limit=0))
+        self.node.on(rpc_topic(name), self._on_response)
+        self._next_id = 1
+        self._pending: set[int] = set()
+        self._responses: dict[int, RpcResponse] = {}
+        self.timeouts = 0
+        self.duplicates_ignored = 0
+
+    def _on_response(self, message: object) -> None:
+        if not isinstance(message, RpcResponse):
+            return
+        if message.request_id not in self._pending:
+            self.duplicates_ignored += 1  # late or duplicated reply
+            return
+        self._pending.discard(message.request_id)
+        self._responses[message.request_id] = message
+
+    def call(
+        self,
+        target: str,
+        method: str,
+        argument: object = None,
+        *,
+        policy: RetryPolicy | None = None,
+    ) -> object:
+        """Call ``method`` on ``target``; returns the decoded result.
+
+        Drives the bus (delivering everyone's traffic along the way)
+        until the matching response arrives or the attempt's deadline
+        passes, retrying per the policy.  Raises
+
+        * :class:`RpcTimeoutError` — no response after every attempt;
+        * :class:`ResponseIntegrityError` — a response arrived but its
+          payload does not decode (corrupted in flight);
+        * the mapped library error — the server reported a failure
+          (e.g. a :class:`repro.errors.QueryError` re-raised locally).
+        """
+        policy = policy or self.policy
+        payload = wire.encode(argument)
+        for attempt in range(policy.max_attempts):
+            request_id = self._next_id
+            self._next_id += 1
+            self._pending.add(request_id)
+            self.bus.send(
+                self.name,
+                target,
+                rpc_topic(target),
+                RpcRequest(
+                    request_id=request_id,
+                    sender=self.name,
+                    method=method,
+                    payload=payload,
+                ),
+            )
+            deadline = self.bus.clock_ms + policy.timeout_ms
+            while request_id not in self._responses and self.bus.step(deadline):
+                pass
+            response = self._responses.pop(request_id, None)
+            if response is None:
+                self._pending.discard(request_id)
+                self.bus.wait_until(deadline)
+                self.timeouts += 1
+                if attempt + 1 < policy.max_attempts:
+                    self.bus.run_for(policy.backoff_ms(attempt))
+                continue
+            if not response.ok:
+                raise self._remote_error(response)
+            try:
+                return wire.decode(response.payload)
+            except ReproError as exc:
+                raise ResponseIntegrityError(
+                    f"response to {method!r} from {target!r} corrupted in "
+                    f"flight: {exc}"
+                ) from exc
+        raise RpcTimeoutError(
+            f"no response from {target!r} to {method!r} after "
+            f"{policy.max_attempts} attempts ({policy.timeout_ms:.0f} ms each)"
+        )
+
+    def _remote_error(self, response: RpcResponse) -> ReproError:
+        """Map a remote failure report back onto the local taxonomy."""
+        import repro.errors as errors
+
+        try:
+            detail = wire.decode(response.payload)
+            name, message = detail["type"], detail["message"]
+        except (ReproError, KeyError, TypeError) as exc:
+            return ResponseIntegrityError(
+                f"undecodable error report from {response.sender!r}: {exc}"
+            )
+        exc_type = getattr(errors, str(name), RemoteCallError)
+        if not (isinstance(exc_type, type) and issubclass(exc_type, ReproError)):
+            exc_type = RemoteCallError
+        return exc_type(f"{response.sender}: {message}")

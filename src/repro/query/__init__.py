@@ -9,12 +9,24 @@ query answers against those certified roots.
 * :mod:`indexes` — index *specs*: the deterministic write-data
   derivation and the pure proof-based root-update function the enclave
   runs, for both the two-level historical index and the keyword index.
-* :mod:`provider` — the SP: index maintenance and query processing.
-* :mod:`verifier` — client-side result verification.
+* :mod:`api` — the typed query API: one request type per family, one
+  answer envelope; exactly what the RPC layer serializes.
+* :mod:`provider` — the SP: index maintenance and the single
+  ``execute(request)`` dispatch (plus the networked ``QueryService``).
+* :mod:`verifier` — client-side result verification; the unified
+  ``verify(request, answer, certified_roots)`` entry point.
 * :mod:`lineagechain` — the LineageChain baseline (skip-list lower
   level), used by the Fig. 11 comparison.
 """
 
+from repro.query.api import (
+    AggregateQuery,
+    HistoryQuery,
+    KeywordQuery,
+    QueryAnswer,
+    QueryRequest,
+    ValueRangeQuery,
+)
 from repro.query.indexes import (
     AccountHistoryIndexSpec,
     AggregateHistoryIndex,
@@ -28,8 +40,9 @@ from repro.query.indexes import (
     ValueRangeIndexSpec,
 )
 from repro.query.lineagechain import LineageChainIndex
-from repro.query.provider import QueryServiceProvider
+from repro.query.provider import QueryService, QueryServiceProvider
 from repro.query.verifier import (
+    verify,
     verify_aggregate_answer,
     verify_baseline_history_answer,
     verify_history_answer,
@@ -40,7 +53,15 @@ from repro.query.indexes import verify_value_range_answer
 __all__ = [
     "AccountHistoryIndexSpec",
     "AggregateHistoryIndex",
+    "AggregateQuery",
     "AuthenticatedIndexSpec",
+    "HistoryQuery",
+    "KeywordQuery",
+    "QueryAnswer",
+    "QueryRequest",
+    "QueryService",
+    "ValueRangeQuery",
+    "verify",
     "BalanceAggregateIndexSpec",
     "KeywordIndexSpec",
     "LineageChainIndex",

@@ -1,0 +1,83 @@
+"""The unified, typed verifiable-query API.
+
+One request type per query family, one answer envelope, one dispatch
+point (:meth:`repro.query.provider.QueryServiceProvider.execute`) and
+one verification entry point (:func:`repro.query.verifier.verify`).
+The request/answer dataclasses here are exactly what the RPC layer
+serializes (:mod:`repro.net.wire`), so the in-process API and the wire
+protocol cannot drift apart.
+
+The answer envelope *echoes the request*: the verifier checks the echo
+and the payload's own claim (account, window, keywords…) against what
+the client asked, so an SP — or a tampering network — cannot satisfy a
+query by replaying the correct proof for a different one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.indexes import (
+    AggregateAnswer,
+    HistoryAnswer,
+    KeywordAnswer,
+    ValueRangeAnswer,
+)
+
+AnswerPayload = HistoryAnswer | AggregateAnswer | ValueRangeAnswer | KeywordAnswer
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRequest:
+    """Base class: every query names the authenticated index it targets."""
+
+    index: str
+
+
+@dataclass(frozen=True, slots=True)
+class HistoryQuery(QueryRequest):
+    """All versions of ``account`` in the block window [t_from, t_to]."""
+
+    account: str
+    t_from: int
+    t_to: int
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateQuery(QueryRequest):
+    """SUM/COUNT/MIN/MAX of ``account``'s values over [t_from, t_to]."""
+
+    account: str
+    t_from: int
+    t_to: int
+
+
+@dataclass(frozen=True, slots=True)
+class ValueRangeQuery(QueryRequest):
+    """Accounts whose *current* value lies in [lo, hi]."""
+
+    lo: int
+    hi: int
+
+
+@dataclass(frozen=True, slots=True)
+class KeywordQuery(QueryRequest):
+    """Transactions carrying *all* of ``keywords`` (conjunctive)."""
+
+    keywords: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        # Tolerate list input (common at call sites); store canonically.
+        object.__setattr__(self, "keywords", tuple(self.keywords))
+
+
+@dataclass(frozen=True, slots=True)
+class QueryAnswer:
+    """The SP's reply: the request it claims to answer, plus the
+    family-specific payload carrying results and integrity proofs."""
+
+    request: QueryRequest
+    payload: AnswerPayload
+
+    def proof_size_bytes(self) -> int:
+        return self.payload.proof_size_bytes()

@@ -5,9 +5,16 @@ over the chain and serves verifiable queries.  It validates and ingests
 every block (recomputing write sets itself), keeps its indexes in the
 certified shape, and answers queries with integrity proofs that clients
 check against CI-certified index roots.
+
+Queries go through one typed entry point — :meth:`execute` with a
+:class:`repro.query.api.QueryRequest` — which is also exactly what the
+networked :class:`QueryService` serves over RPC.  The old per-type
+``query_*`` methods remain as deprecated wrappers.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.chain.block import Block
 from repro.chain.consensus import ProofOfWork
@@ -15,6 +22,14 @@ from repro.chain.node import FullNode
 from repro.chain.state import StateStore
 from repro.chain.vm import VM
 from repro.errors import QueryError
+from repro.query.api import (
+    AggregateQuery,
+    HistoryQuery,
+    KeywordQuery,
+    QueryAnswer,
+    QueryRequest,
+    ValueRangeQuery,
+)
 from repro.query.indexes import (
     AggregateAnswer,
     AggregateHistoryIndex,
@@ -27,6 +42,15 @@ from repro.query.indexes import (
     TwoLevelHistoryIndex,
 )
 from repro.query.lineagechain import LineageChainIndex
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"QueryServiceProvider.{old} is deprecated; use "
+        f"execute({new}) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class QueryServiceProvider:
@@ -67,15 +91,82 @@ class QueryServiceProvider:
     def index_root(self, name: str) -> bytes:
         return self._index(name).root
 
-    # -- query processing --------------------------------------------------
+    # -- query processing (unified typed API) ------------------------------
+
+    def execute(self, request: QueryRequest) -> QueryAnswer:
+        """Process one typed query; the single dispatch point.
+
+        Raises :class:`QueryError` for an unknown index, an index of
+        the wrong family, or an unrecognized request type.
+        """
+        index = self._index(request.index)
+        if isinstance(request, HistoryQuery):
+            if not isinstance(index, TwoLevelHistoryIndex):
+                raise QueryError(
+                    f"index {request.index!r} does not support history queries"
+                )
+            payload = index.query_history(
+                request.account, request.t_from, request.t_to
+            )
+        elif isinstance(request, AggregateQuery):
+            if not isinstance(index, AggregateHistoryIndex):
+                raise QueryError(
+                    f"index {request.index!r} does not support aggregate queries"
+                )
+            payload = index.query_aggregate(
+                request.account, request.t_from, request.t_to
+            )
+        elif isinstance(request, ValueRangeQuery):
+            if not isinstance(index, ValueRangeIndex):
+                raise QueryError(
+                    f"index {request.index!r} does not support value-range queries"
+                )
+            payload = index.query_range(request.lo, request.hi)
+        elif isinstance(request, KeywordQuery):
+            if not isinstance(index, MaintainedKeywordIndex):
+                raise QueryError(
+                    f"index {request.index!r} does not support keyword queries"
+                )
+            payload = index.query_conjunctive(list(request.keywords))
+        else:
+            raise QueryError(
+                f"unrecognized query request type {type(request).__name__}"
+            )
+        return QueryAnswer(request=request, payload=payload)
+
+    # -- deprecated per-type methods ---------------------------------------
 
     def query_history(
         self, name: str, account: str, t_from: int, t_to: int
     ) -> HistoryAnswer:
-        index = self._index(name)
-        if not isinstance(index, TwoLevelHistoryIndex):
-            raise QueryError(f"index {name!r} does not support history queries")
-        return index.query_history(account, t_from, t_to)
+        """Deprecated: use ``execute(HistoryQuery(...))``."""
+        _deprecated("query_history", "HistoryQuery(...)")
+        return self.execute(
+            HistoryQuery(index=name, account=account, t_from=t_from, t_to=t_to)
+        ).payload
+
+    def query_aggregate(
+        self, name: str, account: str, t_from: int, t_to: int
+    ) -> AggregateAnswer:
+        """Deprecated: use ``execute(AggregateQuery(...))``."""
+        _deprecated("query_aggregate", "AggregateQuery(...)")
+        return self.execute(
+            AggregateQuery(index=name, account=account, t_from=t_from, t_to=t_to)
+        ).payload
+
+    def query_value_range(self, name: str, lo: int, hi: int) -> ValueRangeAnswer:
+        """Deprecated: use ``execute(ValueRangeQuery(...))``."""
+        _deprecated("query_value_range", "ValueRangeQuery(...)")
+        return self.execute(ValueRangeQuery(index=name, lo=lo, hi=hi)).payload
+
+    def query_keywords(self, name: str, keywords: list[str]) -> KeywordAnswer:
+        """Deprecated: use ``execute(KeywordQuery(...))``."""
+        _deprecated("query_keywords", "KeywordQuery(...)")
+        return self.execute(
+            KeywordQuery(index=name, keywords=tuple(keywords))
+        ).payload
+
+    # -- baseline (not part of the typed API) ------------------------------
 
     def query_history_baseline(
         self, name: str, account: str, t_from: int, t_to: int
@@ -86,26 +177,6 @@ class QueryServiceProvider:
             raise QueryError(f"no LineageChain baseline for index {name!r}")
         return baseline.query_history(account, t_from, t_to)
 
-    def query_aggregate(
-        self, name: str, account: str, t_from: int, t_to: int
-    ) -> AggregateAnswer:
-        index = self._index(name)
-        if not isinstance(index, AggregateHistoryIndex):
-            raise QueryError(f"index {name!r} does not support aggregate queries")
-        return index.query_aggregate(account, t_from, t_to)
-
-    def query_value_range(self, name: str, lo: int, hi: int) -> ValueRangeAnswer:
-        index = self._index(name)
-        if not isinstance(index, ValueRangeIndex):
-            raise QueryError(f"index {name!r} does not support value-range queries")
-        return index.query_range(lo, hi)
-
-    def query_keywords(self, name: str, keywords: list[str]) -> KeywordAnswer:
-        index = self._index(name)
-        if not isinstance(index, MaintainedKeywordIndex):
-            raise QueryError(f"index {name!r} does not support keyword queries")
-        return index.query_conjunctive(keywords)
-
     # -- internals -----------------------------------------------------------
 
     def _index(self, name: str):
@@ -113,3 +184,31 @@ class QueryServiceProvider:
         if index is None:
             raise QueryError(f"unknown index {name!r}")
         return index
+
+
+class QueryService:
+    """The SP's networked face: serves :meth:`execute` over RPC.
+
+    Register under a service name on the bus; superlight clients reach
+    it through :class:`repro.core.superlight.RemoteSuperlightClient`.
+    """
+
+    def __init__(self, bus, name: str, provider: QueryServiceProvider) -> None:
+        from repro.net.rpc import RpcServer
+
+        self.provider = provider
+        self.server = RpcServer(bus, name)
+        self.server.register("execute", self._execute)
+        self.server.register("index_root", self._index_root)
+
+    def _execute(self, request: object) -> QueryAnswer:
+        if not isinstance(request, QueryRequest):
+            raise QueryError(
+                f"malformed query request of type {type(request).__name__}"
+            )
+        return self.provider.execute(request)
+
+    def _index_root(self, name: object) -> bytes:
+        if not isinstance(name, str):
+            raise QueryError("index_root takes the index name")
+        return self.provider.index_root(name)

@@ -1,24 +1,106 @@
 """Client-side query verification entry points.
 
-Thin, documented aliases over the structure-specific verifiers so that
-application code (and the examples) can import everything it needs to
-check an SP's answers from one place.  The roots these functions take
-must come from validated DCert index certificates — see
+The unified path is :func:`verify`: one call checks any
+:class:`repro.query.api.QueryAnswer` against the request the client
+actually issued and the certified index roots — the mirror image of
+:meth:`repro.query.provider.QueryServiceProvider.execute`.  It rejects
+
+* an answer echoing a different request than the one asked,
+* a payload of the wrong family or claiming different query bounds, and
+* any payload whose proofs fail against the certified root,
+
+so a response corrupted in flight (or forged by an untrusted SP) can
+never be accepted, only detected.
+
+The per-family ``verify_*_answer`` helpers remain as thin, documented
+aliases over the structure-specific verifiers.  The roots these
+functions take must come from validated DCert index certificates — see
 :meth:`repro.core.superlight.SuperlightClient.certified_index_root`.
 """
 
 from __future__ import annotations
 
+from typing import Callable, Mapping
+
 from repro.crypto.hashing import Digest
+from repro.errors import QueryError
+from repro.query.api import (
+    AggregateQuery,
+    HistoryQuery,
+    KeywordQuery,
+    QueryAnswer,
+    QueryRequest,
+    ValueRangeQuery,
+)
 from repro.query.indexes import (
     AggregateAnswer,
     HistoryAnswer,
     KeywordAnswer,
+    ValueRangeAnswer,
     verify_aggregate_answer as _verify_aggregate_answer,
     verify_history_versions,
     verify_keyword_results,
+    verify_value_range_answer,
 )
 from repro.query.lineagechain import LineageAnswer, verify_lineage_answer
+
+#: How certified roots are supplied: a name->root mapping or a lookup
+#: callable (e.g. ``SuperlightClient.certified_index_root``).
+RootSource = Mapping[str, Digest] | Callable[[str], Digest]
+
+
+def _certified_root(roots: RootSource, index: str) -> Digest:
+    if callable(roots):
+        return roots(index)
+    try:
+        return roots[index]
+    except KeyError:
+        raise QueryError(f"no certified root for index {index!r}") from None
+
+
+def verify(
+    request: QueryRequest, answer: QueryAnswer, certified_roots: RootSource
+) -> bool:
+    """Check ``answer`` really answers ``request`` under certified roots.
+
+    Returns False on any mismatch or proof failure; raises
+    :class:`QueryError` only when no certified root is known for the
+    requested index (that is a client-state problem, not a bad answer).
+    """
+    if not isinstance(answer, QueryAnswer) or answer.request != request:
+        return False
+    root = _certified_root(certified_roots, request.index)
+    payload = answer.payload
+    if isinstance(request, HistoryQuery):
+        return (
+            isinstance(payload, HistoryAnswer)
+            and (payload.account, payload.t_from, payload.t_to)
+            == (request.account, request.t_from, request.t_to)
+            and verify_history_versions(root, payload)
+        )
+    if isinstance(request, AggregateQuery):
+        return (
+            isinstance(payload, AggregateAnswer)
+            and (payload.account, payload.t_from, payload.t_to)
+            == (request.account, request.t_from, request.t_to)
+            and _verify_aggregate_answer(root, payload)
+        )
+    if isinstance(request, ValueRangeQuery):
+        return (
+            isinstance(payload, ValueRangeAnswer)
+            and (payload.lo, payload.hi) == (request.lo, request.hi)
+            and verify_value_range_answer(root, payload)
+        )
+    if isinstance(request, KeywordQuery):
+        return (
+            isinstance(payload, KeywordAnswer)
+            and payload.keywords == tuple(request.keywords)
+            and verify_keyword_results(root, payload)
+        )
+    return False
+
+
+# -- per-family aliases -----------------------------------------------------
 
 
 def verify_history_answer(certified_root: Digest, answer: HistoryAnswer) -> bool:

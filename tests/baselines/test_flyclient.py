@@ -40,8 +40,6 @@ def test_wrong_mmr_root_rejected(prover, kv_chain):
 
 
 def test_append_keeps_proving(prover, kv_chain):
-    import copy
-
     grower = FlyClientProver(kv_chain.headers()[:5])
     for header in kv_chain.headers()[5:]:
         grower.append(header)

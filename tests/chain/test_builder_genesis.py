@@ -1,7 +1,5 @@
 """ChainBuilder and genesis construction."""
 
-import pytest
-
 from repro.chain.builder import ChainBuilder
 from repro.chain.genesis import make_genesis
 from repro.chain.transaction import sign_transaction

@@ -14,7 +14,7 @@ import pytest
 from dataclasses import replace
 
 from repro.core.certificate import CERT_SIG_DOMAIN, Certificate
-from repro.core.digest import block_digest, index_digest
+from repro.core.digest import block_digest
 from repro.core.superlight import SuperlightClient
 from repro.crypto import generate_keypair, sign
 from repro.errors import CertificateError

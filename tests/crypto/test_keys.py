@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, generate_keypair
+from repro.crypto.keys import PrivateKey, PublicKey, generate_keypair
 from repro.errors import CryptoError
 
 

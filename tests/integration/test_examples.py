@@ -36,6 +36,7 @@ def run_example(name: str) -> None:
         "aggregate_analytics",
         "state_sync",
         "certificate_network",
+        "faulty_network",
     ],
 )
 def test_example_runs(name, capsys):

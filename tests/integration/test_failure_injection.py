@@ -8,7 +8,7 @@ is contained exactly where the design says it should be.
 import pytest
 from dataclasses import replace
 
-from repro.chain.block import Block, BlockHeader
+from repro.chain.block import Block
 from repro.chain.builder import ChainBuilder
 from repro.chain.genesis import make_genesis
 from repro.chain.transaction import Transaction, sign_transaction

@@ -1,0 +1,241 @@
+"""End-to-end: a remote superlight client over a faulty network.
+
+The acceptance scenario for the RPC layer: bootstrap and certified
+queries against two Service Providers while the link to SP1 drops 30%
+of messages and a tampering middlebox forges one response.  The forgery
+must be *detected* (root verification), never silently accepted; the
+client fails over and still returns a verified answer.  With every
+provider dark, the client must fail in bounded time with
+ServiceUnavailableError.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.chain import ChainBuilder
+from repro.chain.genesis import make_genesis
+from repro.chain.transaction import sign_transaction
+from repro.core import (
+    CertificateIssuer,
+    IssuerService,
+    RemoteSuperlightClient,
+    compute_expected_measurement,
+)
+from repro.crypto import generate_keypair
+from repro.errors import ServiceUnavailableError
+from repro.net import (
+    FaultInjector,
+    LinkFaults,
+    MessageBus,
+    RetryPolicy,
+    RpcResponse,
+)
+from repro.net import wire
+from repro.query import (
+    AggregateQuery,
+    HistoryQuery,
+    KeywordQuery,
+    QueryAnswer,
+    QueryService,
+    ValueRangeQuery,
+)
+from repro.query.indexes import (
+    AccountHistoryIndexSpec,
+    BalanceAggregateIndexSpec,
+    KeywordIndexSpec,
+    ValueRangeIndexSpec,
+)
+from repro.query.provider import QueryServiceProvider
+from repro.sgx.attestation import AttestationService
+from tests.conftest import fresh_vm
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A certified chain with all four index families, CI + SP state."""
+    user = generate_keypair(b"remote-user")
+    builder = ChainBuilder(difficulty_bits=4, network="remote")
+    nonce = [0]
+
+    def tx(contract, method, *args):
+        signed = sign_transaction(
+            user.private, nonce[0], contract, method, tuple(args)
+        )
+        nonce[0] += 1
+        return signed
+
+    builder.add_block([tx("smallbank", "create", "a1", "1000", "500")])
+    for round_ in range(6):
+        builder.add_block([
+            tx("smallbank", "deposit_checking", "a1", "50"),
+            tx("kvstore", "put", "acct1", f"v{round_}"),
+        ])
+
+    specs = [
+        AccountHistoryIndexSpec(name="history"),
+        KeywordIndexSpec(name="keyword"),
+        BalanceAggregateIndexSpec(name="aggregate"),
+        ValueRangeIndexSpec(name="range"),
+    ]
+    genesis, state = make_genesis(network="remote")
+    ias = AttestationService(seed=b"remote-ias")
+    issuer = CertificateIssuer(
+        genesis, state, fresh_vm(), builder.pow,
+        index_specs=specs, ias=ias, key_seed=b"remote-enclave",
+    )
+    sp_genesis, sp_state = make_genesis(network="remote")
+    provider = QueryServiceProvider(
+        sp_genesis, sp_state, fresh_vm(), builder.pow, specs
+    )
+    for block in builder.blocks[1:]:
+        issuer.process_block(block)
+        provider.ingest_block(block)
+
+    measurement = compute_expected_measurement(
+        genesis.header.header_hash(), ias.public_key, fresh_vm(),
+        builder.pow.difficulty_bits, {spec.name: spec for spec in specs},
+    )
+    return {
+        "builder": builder,
+        "issuer": issuer,
+        "provider": provider,
+        "measurement": measurement,
+        "ias": ias,
+    }
+
+
+def make_network(world, *, injector=None, providers=("sp1", "sp2"),
+                 integrity_retries=2):
+    bus = MessageBus(default_latency_ms=20.0)
+    if injector is not None:
+        bus.install_faults(injector)
+    IssuerService(bus, "ci", world["issuer"])
+    for name in providers:
+        QueryService(bus, name, world["provider"])
+    client = RemoteSuperlightClient(
+        bus, "client", world["measurement"], world["ias"].public_key,
+        issuers=["ci"], providers=list(providers),
+        policy=RetryPolicy(timeout_ms=150.0, max_attempts=3,
+                           backoff_base_ms=20.0),
+        integrity_retries=integrity_retries,
+    )
+    return bus, client
+
+
+class ForgeOneAnswer:
+    """A middlebox that drops one version from one query answer —
+    a forgery that decodes fine and only root verification can catch."""
+
+    def __init__(self) -> None:
+        self.fired = False
+
+    def __call__(self, message: object, rng: random.Random) -> object:
+        if self.fired or not isinstance(message, RpcResponse) or not message.ok:
+            return message
+        answer = wire.decode(message.payload)
+        if not isinstance(answer, QueryAnswer):
+            return message  # a bootstrap reply; wait for a query answer
+        versions = getattr(answer.payload, "versions", ())
+        if not versions:
+            return message
+        self.fired = True
+        forged = replace(
+            answer, payload=replace(answer.payload, versions=versions[:-1])
+        )
+        return replace(message, payload=wire.encode(forged))
+
+
+def test_acceptance_lossy_link_plus_forged_response(world):
+    injector = FaultInjector(seed=9)
+    forge = ForgeOneAnswer()
+    injector.set_link("client", "sp1", LinkFaults(drop_rate=0.3))
+    injector.set_link(
+        "sp1", "client",
+        LinkFaults(drop_rate=0.3, corrupt_rate=1.0, corrupter=forge),
+    )
+    bus, client = make_network(world, injector=injector, integrity_retries=1)
+
+    client.bootstrap()
+    height = world["builder"].height
+    assert client.latest_header is not None
+    assert client.latest_header.height == height
+    assert client.storage_bytes() < 10_000  # still a superlight client
+
+    request = HistoryQuery(
+        index="history", account="acct1", t_from=1, t_to=height
+    )
+    answer = client.query(request)
+    # The forgery struck and was *detected*, not silently accepted:
+    assert forge.fired
+    assert client.integrity_failures >= 1
+    assert client.failovers >= 1  # SP2 served the good answer
+    assert len(answer.payload.versions) == 6
+    assert client.client.verify_answer(request, answer)
+
+
+def test_all_four_query_types_round_trip_over_rpc(world):
+    bus, client = make_network(world)
+    client.bootstrap()
+    height = world["builder"].height
+    provider = world["provider"]
+
+    requests = [
+        HistoryQuery(index="history", account="acct1", t_from=1, t_to=height),
+        AggregateQuery(index="aggregate", account="a1", t_from=1, t_to=height),
+        ValueRangeQuery(index="range", lo=0, hi=10_000),
+        KeywordQuery(index="keyword", keywords=("acct1",)),
+    ]
+    for request in requests:
+        answer = client.query(request)
+        assert client.client.verify_answer(request, answer)
+        # The wire round trip is lossless: identical to a local execute.
+        assert answer == provider.execute(request)
+
+
+def test_permanent_provider_outage_fails_bounded(world):
+    injector = FaultInjector(seed=10)
+    for sp in ("sp1", "sp2"):
+        injector.set_link("client", sp, LinkFaults(drop_rate=1.0))
+        injector.set_link(sp, "client", LinkFaults(drop_rate=1.0))
+    bus, client = make_network(world, injector=injector)
+    client.bootstrap()  # the issuer link is clean
+
+    before_ms = bus.clock_ms
+    request = HistoryQuery(index="history", account="acct1", t_from=1, t_to=2)
+    with pytest.raises(ServiceUnavailableError):
+        client.query(request)
+    # Bounded: 2 providers x 3 attempts x 150ms (+ backoff), not forever.
+    assert client.rpc.timeouts == 6
+    assert bus.clock_ms - before_ms < 2_000.0
+
+
+def test_permanent_issuer_outage_fails_bounded(world):
+    injector = FaultInjector(seed=11)
+    injector.set_link("client", "ci", LinkFaults(drop_rate=1.0))
+    bus, client = make_network(world, injector=injector)
+    with pytest.raises(ServiceUnavailableError):
+        client.bootstrap()
+    assert client.latest_header is None
+
+
+def test_relentless_forgery_on_every_provider_is_never_accepted(world):
+    class ForgeAlways(ForgeOneAnswer):
+        def __call__(self, message, rng):
+            self.fired = False  # re-arm for every response
+            return super().__call__(message, rng)
+
+    injector = FaultInjector(seed=12)
+    for sp in ("sp1", "sp2"):
+        injector.set_link(
+            sp, "client", LinkFaults(corrupt_rate=1.0, corrupter=ForgeAlways())
+        )
+    bus, client = make_network(world, injector=injector, integrity_retries=2)
+    client.bootstrap()
+    request = HistoryQuery(
+        index="history", account="acct1", t_from=1, t_to=world["builder"].height
+    )
+    with pytest.raises(ServiceUnavailableError):
+        client.query(request)
+    assert client.integrity_failures >= 4  # every forgery was detected

@@ -82,3 +82,132 @@ def test_unsubscribed_topic_drops(bus):
     bus.publish("a", "untracked", "x")
     assert bus.run_until_idle() == 0
     assert b.received == []
+
+
+def test_fifo_tie_break_at_equal_timestamps(bus):
+    bus.join(NetworkNode("a"))
+    b = bus.join(NetworkNode("b"))
+    bus.subscribe("b", "t")
+    for index in range(10):  # identical latency -> identical timestamps
+        bus.publish("a", "t", index)
+    bus.run_until_idle()
+    assert b.received == list(range(10))  # enqueue order preserved
+
+
+def test_per_link_latency_overrides_fan_out(bus):
+    bus.join(NetworkNode("a"))
+    near = bus.join(NetworkNode("near"))
+    far = bus.join(NetworkNode("far"))
+    bus.subscribe("near", "t")
+    bus.subscribe("far", "t")
+    bus.set_latency("a", "far", 200.0)
+    arrivals = []
+    near.on("t", lambda m: arrivals.append(("near", bus.clock_ms)))
+    far.on("t", lambda m: arrivals.append(("far", bus.clock_ms)))
+    bus.publish("a", "t", "fanout")
+    bus.run_until_idle()
+    assert arrivals == [("near", 10.0), ("far", 200.0)]
+
+
+def test_send_is_point_to_point(bus):
+    bus.join(NetworkNode("a"))
+    b = bus.join(NetworkNode("b"))
+    c = bus.join(NetworkNode("c"))
+    bus.subscribe("c", "t")  # subscription must not matter for send()
+    bus.send("a", "b", "t", "direct")
+    bus.run_until_idle()
+    assert b.received == ["direct"]
+    assert c.received == []
+
+
+def test_send_to_unknown_node_rejected(bus):
+    bus.join(NetworkNode("a"))
+    with pytest.raises(ReproError):
+        bus.send("a", "ghost", "t", "x")
+
+
+def test_schedule_fires_at_virtual_deadline(bus):
+    fired = []
+    bus.schedule(25.0, lambda: fired.append(bus.clock_ms))
+    bus.schedule(5.0, lambda: fired.append(bus.clock_ms))
+    assert bus.run_until_idle() == 2
+    assert fired == [5.0, 25.0]
+
+
+def test_run_for_respects_window_and_advances_clock(bus):
+    bus.join(NetworkNode("a"))
+    b = bus.join(NetworkNode("b"))
+    bus.subscribe("b", "t")
+    bus.set_latency("a", "b", 30.0)
+    bus.publish("a", "t", "in-window")
+    bus.set_latency("a", "b", 80.0)
+    bus.publish("a", "t", "beyond")
+    assert bus.run_for(50.0) == 1  # only the 30ms delivery is due
+    assert b.received == ["in-window"]
+    assert bus.clock_ms == 50.0  # idles forward to the window's end
+    assert bus.run_for(50.0) == 1
+    assert b.received == ["in-window", "beyond"]
+
+
+def test_step_never_advances_past_deadline(bus):
+    bus.join(NetworkNode("a"))
+    b = bus.join(NetworkNode("b"))
+    bus.subscribe("b", "t")
+    bus.set_latency("a", "b", 40.0)
+    bus.publish("a", "t", "later")
+    assert not bus.step(deadline_ms=30.0)
+    assert bus.clock_ms == 0.0
+    assert bus.step(deadline_ms=40.0)
+    assert b.received == ["later"]
+
+
+def test_wait_until_advances_without_delivering(bus):
+    bus.join(NetworkNode("a"))
+    b = bus.join(NetworkNode("b"))
+    bus.subscribe("b", "t")
+    bus.publish("a", "t", "pending")
+    bus.wait_until(500.0)
+    assert bus.clock_ms == 500.0
+    assert b.received == []  # still queued
+    bus.run_until_idle()
+    assert b.received == ["pending"]
+
+
+def test_cascades_inside_run_for_window(bus):
+    bus.join(NetworkNode("a"))
+    relay = bus.join(NetworkNode("relay"))
+    sink = bus.join(NetworkNode("sink"))
+    relay.on("in", lambda m: bus.publish("relay", "out", f"relayed:{m}"))
+    bus.subscribe("relay", "in")
+    bus.subscribe("sink", "out")
+    bus.publish("a", "in", "ping")
+    assert bus.run_for(100.0) == 2  # hop one at 10ms, hop two at 20ms
+    assert sink.received == ["relayed:ping"]
+    assert bus.clock_ms == 100.0
+
+
+def test_received_log_is_bounded():
+    node = NetworkNode("n", record_limit=3)
+    for index in range(10):
+        node.deliver("t", index)
+    assert node.received == [7, 8, 9]  # oldest dropped first
+    assert node.delivered_count == 10
+
+
+def test_received_log_can_be_disabled_or_unbounded():
+    quiet = NetworkNode("q", record_limit=0)
+    full = NetworkNode("f", record_limit=None)
+    for index in range(300):
+        quiet.deliver("t", index)
+        full.deliver("t", index)
+    assert quiet.received == []
+    assert quiet.delivered_count == 300
+    assert full.received == list(range(300))
+
+
+def test_default_record_limit_bounds_growth(bus):
+    node = NetworkNode("n")
+    for index in range(1000):
+        node.deliver("t", index)
+    assert len(node.received) == 256
+    assert node.received[-1] == 999

@@ -1,0 +1,147 @@
+"""Deterministic per-link fault injection."""
+
+import random
+
+import pytest
+
+from repro.net.bus import MessageBus, NetworkNode
+from repro.net.faults import (
+    FaultInjector,
+    LinkFaults,
+    default_corrupter,
+    flip_hex_digit,
+)
+from repro.net.rpc import RpcResponse
+
+
+@pytest.fixture()
+def bus():
+    return MessageBus(default_latency_ms=10.0)
+
+
+def wired(bus, injector):
+    bus.join(NetworkNode("a"))
+    b = bus.join(NetworkNode("b"))
+    bus.subscribe("b", "t")
+    bus.install_faults(injector)
+    return b
+
+
+def test_clean_link_passes_everything_through():
+    injector = FaultInjector(seed=1)
+    assert injector.apply("a", "b", "msg") == [(0.0, "msg")]
+    assert injector.summary() == {}
+
+
+def test_drop_rate_one_drops_all(bus):
+    injector = FaultInjector(seed=1)
+    injector.set_link("a", "b", LinkFaults(drop_rate=1.0))
+    b = wired(bus, injector)
+    for index in range(5):
+        bus.publish("a", "t", index)
+    assert bus.run_until_idle() == 0
+    assert b.received == []
+    assert injector.summary()["a->b"]["dropped"] == 5
+
+
+def test_partial_drop_is_deterministic_per_seed(bus):
+    def delivered_with(seed):
+        injector = FaultInjector(seed=seed)
+        injector.set_link("a", "b", LinkFaults(drop_rate=0.5))
+        deliveries = []
+        for index in range(20):
+            deliveries.extend(m for _, m in injector.apply("a", "b", index))
+        return deliveries
+
+    first = delivered_with(7)
+    assert first == delivered_with(7)  # same seed -> same schedule
+    assert 0 < len(first) < 20
+    assert first != delivered_with(8)
+
+
+def test_duplicate_rate_one_duplicates(bus):
+    injector = FaultInjector(seed=2)
+    injector.set_link("a", "b", LinkFaults(duplicate_rate=1.0))
+    b = wired(bus, injector)
+    bus.publish("a", "t", "once")
+    assert bus.run_until_idle() == 2
+    assert b.received == ["once", "once"]
+    stats = injector.summary()["a->b"]
+    assert stats["duplicated"] == 1
+    assert stats["delivered"] == 2
+
+
+def test_extra_delay_and_jitter_bound(bus):
+    injector = FaultInjector(seed=3)
+    injector.set_link(
+        "a", "b", LinkFaults(extra_delay_ms=100.0, jitter_ms=20.0)
+    )
+    b = wired(bus, injector)
+    bus.publish("a", "t", "late")
+    bus.run_until_idle()
+    assert b.received == ["late"]
+    # base latency 10 + extra 100 + jitter in [0, 20]
+    assert 110.0 <= bus.clock_ms <= 130.0
+
+
+def test_default_profile_applies_to_unconfigured_links(bus):
+    injector = FaultInjector(seed=4, default=LinkFaults(drop_rate=1.0))
+    b = wired(bus, injector)
+    bus.publish("a", "t", "x")
+    assert bus.run_until_idle() == 0
+    assert b.received == []
+
+
+def test_clear_link_restores_clean_delivery(bus):
+    injector = FaultInjector(seed=5)
+    injector.set_link("a", "b", LinkFaults(drop_rate=1.0))
+    b = wired(bus, injector)
+    bus.publish("a", "t", "lost")
+    injector.clear_link("a", "b")
+    bus.publish("a", "t", "kept")
+    bus.run_until_idle()
+    assert b.received == ["kept"]
+
+
+def test_corruption_uses_message_hook():
+    injector = FaultInjector(seed=6)
+    injector.set_link("a", "b", LinkFaults(corrupt_rate=1.0))
+    response = RpcResponse(
+        request_id=1, sender="b", ok=True, payload=b'{"!b":"00ff"}'
+    )
+    [(_, tampered)] = injector.apply("a", "b", response)
+    assert isinstance(tampered, RpcResponse)
+    assert tampered.payload != response.payload
+    assert injector.summary()["a->b"]["corrupted"] == 1
+
+
+def test_custom_corrupter_wins():
+    injector = FaultInjector(seed=6)
+    injector.set_link(
+        "a", "b",
+        LinkFaults(corrupt_rate=1.0, corrupter=lambda m, rng: "garbled"),
+    )
+    assert injector.apply("a", "b", "anything") == [(0.0, "garbled")]
+
+
+def test_default_corrupter_leaves_hookless_messages_alone():
+    rng = random.Random(0)
+    assert default_corrupter("plain", rng) == "plain"
+
+
+def test_flip_hex_digit_changes_exactly_one_hex_char():
+    rng = random.Random(0)
+    data = b'{"!b":"00ff"}'
+    flipped = flip_hex_digit(data, rng)
+    assert flipped != data
+    assert len(flipped) == len(data)
+    assert sum(x != y for x, y in zip(data, flipped)) == 1
+
+
+def test_flip_hex_digit_falls_back_to_bit_flip():
+    rng = random.Random(0)
+    data = b"XYZ!"  # no hex digits
+    flipped = flip_hex_digit(data, rng)
+    assert flipped != data
+    assert len(flipped) == len(data)
+    assert flip_hex_digit(b"", rng) == b""

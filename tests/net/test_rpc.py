@@ -1,0 +1,168 @@
+"""Request/response RPC: timeouts, retries, backoff, corruption."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import (
+    QueryError,
+    RemoteCallError,
+    ResponseIntegrityError,
+    RpcTimeoutError,
+)
+from repro.net.bus import MessageBus, NetworkNode
+from repro.net.faults import FaultInjector, LinkFaults
+from repro.net.rpc import RetryPolicy, RpcClient, RpcServer, rpc_topic
+
+
+@pytest.fixture()
+def bus():
+    return MessageBus(default_latency_ms=10.0)
+
+
+@pytest.fixture()
+def echo_server(bus):
+    def fail(argument):
+        raise QueryError("no such index")
+
+    server = RpcServer(bus, "server")
+    server.register("echo", lambda argument: argument)
+    server.register("fail", fail)
+    return server
+
+
+@pytest.fixture()
+def client(bus):
+    return RpcClient(
+        bus, "client",
+        RetryPolicy(timeout_ms=100.0, max_attempts=3, backoff_base_ms=10.0),
+    )
+
+
+def test_happy_path_round_trip(bus, echo_server, client):
+    result = client.call("server", "echo", {"k": (1, b"\x02")})
+    assert result == {"k": (1, b"\x02")}
+    assert echo_server.requests_served == 1
+    assert client.timeouts == 0
+    assert bus.clock_ms == pytest.approx(20.0)  # one RTT
+
+
+def test_remote_library_error_is_reraised_locally(bus, echo_server, client):
+    with pytest.raises(QueryError, match="no such index"):
+        client.call("server", "fail")
+
+
+def test_unknown_method_maps_to_remote_call_error(bus, echo_server, client):
+    with pytest.raises(RemoteCallError, match="unknown method"):
+        client.call("server", "nope")
+
+
+def test_unknown_error_type_degrades_to_remote_call_error(bus, client):
+    server = RpcServer(bus, "server")
+
+    class Weird(QueryError):
+        pass
+
+    def boom(argument):
+        raise Weird("strange")
+
+    server.register("boom", boom)
+    with pytest.raises(RemoteCallError, match="strange"):
+        client.call("server", "boom")
+
+
+def test_permanent_failure_times_out_after_bounded_attempts(bus, client):
+    bus.join(NetworkNode("server"))  # joined but serves nothing
+    before = bus.clock_ms
+    with pytest.raises(RpcTimeoutError, match="3 attempts"):
+        client.call("server", "echo", 1)
+    assert client.timeouts == 3
+    # 3 timeouts of 100ms plus two backoff sleeps of 10ms and 20ms.
+    assert bus.clock_ms - before == pytest.approx(330.0)
+
+
+def test_retry_then_succeed_after_outage_heals(bus, echo_server, client):
+    injector = FaultInjector(seed=1)
+    injector.set_link("client", "server", LinkFaults(drop_rate=1.0))
+    bus.install_faults(injector)
+    # The link heals while the client is mid-backoff (virtual time 150ms
+    # falls inside the first backoff window after the 100ms timeout).
+    bus.schedule(105.0, lambda: injector.clear_link("client", "server"))
+    result = client.call("server", "echo", "eventually")
+    assert result == "eventually"
+    assert client.timeouts == 1
+    assert echo_server.requests_served == 1
+
+
+def test_corrupted_response_raises_integrity_error(bus, echo_server, client):
+    injector = FaultInjector(seed=2)
+    injector.set_link(
+        "server", "client",
+        LinkFaults(
+            corrupt_rate=1.0,
+            corrupter=lambda m, rng: replace(m, payload=b"\xff junk"),
+        ),
+    )
+    bus.install_faults(injector)
+    with pytest.raises(ResponseIntegrityError, match="corrupted in flight"):
+        client.call("server", "echo", "tamper me")
+
+
+def test_corrupted_request_is_dropped_by_server(bus, echo_server, client):
+    injector = FaultInjector(seed=3)
+    injector.set_link(
+        "client", "server",
+        LinkFaults(
+            corrupt_rate=1.0,
+            corrupter=lambda m, rng: replace(m, payload=b"\xff junk"),
+        ),
+    )
+    bus.install_faults(injector)
+    with pytest.raises(RpcTimeoutError):
+        client.call("server", "echo", 1)
+    assert echo_server.requests_dropped == 3
+    assert echo_server.requests_served == 0
+
+
+def test_duplicated_responses_are_ignored(bus, echo_server, client):
+    injector = FaultInjector(seed=4)
+    injector.set_link("server", "client", LinkFaults(duplicate_rate=1.0))
+    bus.install_faults(injector)
+    assert client.call("server", "echo", "dup") == "dup"
+    bus.run_until_idle()  # deliver the straggler copy
+    assert client.duplicates_ignored == 1
+
+
+def test_late_response_from_timed_out_attempt_is_ignored(bus, echo_server, client):
+    injector = FaultInjector(seed=5)
+    # Only the *first* response is delayed beyond the 100ms attempt
+    # timeout: the link heals right after it is enqueued.
+    injector.set_link("server", "client", LinkFaults(extra_delay_ms=150.0))
+    bus.schedule(15.0, lambda: injector.clear_link("server", "client"))
+    bus.install_faults(injector)
+    result = client.call("server", "echo", "slow")
+    assert result == "slow"
+    assert client.timeouts == 1
+    bus.run_until_idle()  # the stale first reply finally lands
+    assert client.duplicates_ignored == 1
+
+
+def test_concurrent_clients_share_the_bus(bus, echo_server):
+    first = RpcClient(bus, "c1", RetryPolicy(timeout_ms=100.0))
+    second = RpcClient(bus, "c2", RetryPolicy(timeout_ms=100.0))
+    assert first.call("server", "echo", "one") == "one"
+    assert second.call("server", "echo", "two") == "two"
+    assert echo_server.requests_served == 2
+
+
+def test_rpc_topic_namespacing():
+    assert rpc_topic("sp1") == "rpc:sp1"
+
+
+def test_per_call_policy_override(bus, echo_server, client):
+    bus.set_latency("client", "server", 500.0)
+    with pytest.raises(RpcTimeoutError, match="1 attempts"):
+        client.call(
+            "server", "echo", 1,
+            policy=RetryPolicy(timeout_ms=50.0, max_attempts=1),
+        )

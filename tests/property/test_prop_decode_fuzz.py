@@ -6,7 +6,6 @@ bare ``KeyError``/``TypeError``/``json`` exception to callers.  This is
 what lets network-facing code treat decoding failures uniformly.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.chain.block import BlockHeader, decode_block

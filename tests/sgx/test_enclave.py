@@ -94,8 +94,6 @@ def test_no_charges_when_model_disabled(host):
 
 
 def test_cost_ledger_accounting():
-    from repro.sgx.costs import cost_model_disabled
-
     model = SGXCostModel(spend_time=False)
     host = EnclaveHost(
         EchoProgram(), SGXPlatform(seed=b"ledger"), cost_model=model
