@@ -1,9 +1,11 @@
 PYTHON ?= python
 
-.PHONY: test bench lint selftest
+.PHONY: test bench lint selftest check metrics
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+check: lint test
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -13,3 +15,6 @@ lint:
 
 selftest:
 	PYTHONPATH=src $(PYTHON) -m repro selftest
+
+metrics:
+	PYTHONPATH=src $(PYTHON) -m repro metrics

@@ -21,7 +21,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.harness import CertifiedChainHarness
-from repro.bench.reporting import print_table
+from repro.bench.reporting import bench_record, print_table
 
 
 def _workload_breakdown(params, workload):
@@ -64,6 +64,13 @@ def test_fig8_certificate_construction(params, benchmark):
         ["workload", "total ms", "outside ms", "inside ms", "overhead ms",
          "slowdown", "proof B"],
         rows,
+    )
+    bench_record(
+        "fig8_cert_construction",
+        {r[0]: dict(zip(
+            ["total_ms", "outside_ms", "inside_ms", "overhead_ms",
+             "slowdown", "proof_bytes"], r[1:]))
+         for r in rows},
     )
 
     # Reproduced claims.

@@ -23,6 +23,7 @@ from repro.core import (
     compute_expected_measurement,
 )
 from repro.crypto import generate_keypair
+from repro.query.api import KeywordQuery, QueryAnswer
 from repro.query.indexes import KeywordIndexSpec
 from repro.sgx.attestation import AttestationService
 
@@ -79,6 +80,7 @@ def main() -> None:
         tip.index_roots["keyword"], tip.index_certificates["keyword"],
     )
 
+    request = KeywordQuery(index="keyword", keywords=("stock", "bank"))
     answer = issuer.indexes["keyword"].query_conjunctive(["stock", "bank"])
     print("Query: transactions containing [stock AND bank]")
     for seq in answer.results:
@@ -86,17 +88,21 @@ def main() -> None:
         print(f"  block {height}, tx {position}: {DOCUMENTS[height - 1]!r}")
     print(f"  proof size: {answer.proof_size_bytes():,} bytes")
 
-    assert client.verify_keyword("keyword", answer)
+    assert client.verify_answer(request, QueryAnswer(request=request, payload=answer))
     print("  -> verified against the certified index root")
 
     # Completeness: withholding a matching transaction is detected.
     withheld = replace(answer, results=answer.results[:-1])
-    assert not client.verify_keyword("keyword", withheld)
+    assert not client.verify_answer(
+        request, QueryAnswer(request=request, payload=withheld)
+    )
     print("An incomplete answer (withheld match) is rejected.")
 
     # Soundness: injecting a non-matching transaction is detected.
     injected = replace(answer, results=answer.results + ((5 << 20) | 0,))
-    assert not client.verify_keyword("keyword", injected)
+    assert not client.verify_answer(
+        request, QueryAnswer(request=request, payload=injected)
+    )
     print("A padded answer (injected non-match) is rejected.")
 
 

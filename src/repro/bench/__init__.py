@@ -17,13 +17,14 @@ Everything the per-figure benchmarks under ``benchmarks/`` share:
 from repro.bench.params import BenchParams, load_params
 from repro.bench.workloadgen import WorkloadGenerator
 from repro.bench.harness import CertTimings, CertifiedChainHarness
-from repro.bench.reporting import print_series, print_table
+from repro.bench.reporting import bench_record, print_series, print_table
 
 __all__ = [
     "BenchParams",
     "CertTimings",
     "CertifiedChainHarness",
     "WorkloadGenerator",
+    "bench_record",
     "load_params",
     "print_series",
     "print_table",

@@ -137,6 +137,15 @@ class CertifiedChainHarness:
 
     # -- summaries ------------------------------------------------------------
 
+    def record(self, name: str, *, skip: int = 0) -> dict:
+        """The mean timing split as a :func:`bench_record` — carries the
+        metrics-registry snapshot when observability is on."""
+        from dataclasses import asdict
+
+        from repro.bench.reporting import bench_record
+
+        return bench_record(name, asdict(self.mean_timing(skip=skip)))
+
     def mean_timing(self, skip: int = 0) -> CertTimings:
         """Mean of recorded timings (optionally skipping warmup blocks)."""
         samples = self.timings[skip:]

@@ -7,6 +7,8 @@ section: one table per figure, same axes, same units.
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Sequence
 
 
@@ -38,6 +40,28 @@ def print_table(
     print("-" * len(header))
     for row in formatted:
         print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+
+
+def bench_record(name: str, data: dict) -> dict:
+    """Package one benchmark result, attaching the live metrics snapshot.
+
+    When observability is on (:func:`repro.obs.enabled`) the record
+    carries the registry snapshot next to the figure data, so a bench
+    run doubles as a metrics capture.  Set ``REPRO_BENCH_OUT`` to a
+    directory to also persist the record as ``<name>.json``.
+    """
+    from repro import obs
+
+    record: dict = {"name": name, "data": data}
+    if obs.enabled():
+        record["metrics"] = obs.snapshot()
+    out_dir = os.environ.get("REPRO_BENCH_OUT", "")
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+    return record
 
 
 def print_series(title: str, x_label: str, series: dict[str, dict[object, object]]) -> None:

@@ -11,6 +11,9 @@ Commands:
   first one.
 * ``selftest`` — a fast certification round trip with tamper checks;
   exits non-zero on any failure (useful as a deployment smoke test).
+* ``metrics`` — run the networked demo with observability enabled and
+  report the collected counters, gauges, and latency/size histograms
+  (``--json`` for machine-readable output).
 """
 
 from __future__ import annotations
@@ -119,26 +122,31 @@ def cmd_demo(args: argparse.Namespace) -> int:
         "history", tip.block.header,
         tip.index_roots["history"], tip.index_certificates["history"],
     )
+    from repro.query.api import HistoryQuery, QueryAnswer
+
+    request = HistoryQuery(
+        index="history", account="acct1", t_from=1, t_to=builder.height
+    )
     answer = issuer.indexes["history"].query_history("acct1", 1, builder.height)
-    ok = client.verify_history("history", answer)
+    ok = client.verify_answer(request, QueryAnswer(request=request, payload=answer))
     print(f"Verifiable query: {len(answer.versions)} versions of acct1, "
           f"proof {answer.proof_size_bytes()} bytes, verified={ok}.")
     return 0
 
 
-def cmd_demo_network(args: argparse.Namespace) -> int:
+def _network_world(blocks: int, drop: float, seed: int):
+    """The Fig. 2 deployment on the simulated network: a CI and two SPs
+    (with a lossy link to sp1) serving one remote superlight client."""
+    from repro.chain.genesis import make_genesis
     from repro.core import (
         IssuerService,
         RemoteSuperlightClient,
         compute_expected_measurement,
     )
     from repro.net import FaultInjector, LinkFaults, MessageBus, RetryPolicy
-    from repro.query import HistoryQuery, QueryService, QueryServiceProvider
+    from repro.query import QueryService, QueryServiceProvider
 
-    print(f"Mining and certifying {args.blocks} blocks...")
-    builder, issuer, ias, spec, genesis, vm = _build_world(blocks=args.blocks)
-
-    from repro.chain.genesis import make_genesis
+    builder, issuer, ias, spec, genesis, vm = _build_world(blocks=blocks)
 
     sp_genesis, sp_state = make_genesis(network="cli")
     provider = QueryServiceProvider(
@@ -148,9 +156,9 @@ def cmd_demo_network(args: argparse.Namespace) -> int:
         provider.ingest_block(block)
 
     bus = MessageBus(default_latency_ms=20.0)
-    injector = FaultInjector(seed=args.seed)
-    injector.set_link("client", "sp1", LinkFaults(drop_rate=args.drop))
-    injector.set_link("sp1", "client", LinkFaults(drop_rate=args.drop))
+    injector = FaultInjector(seed=seed)
+    injector.set_link("client", "sp1", LinkFaults(drop_rate=drop))
+    injector.set_link("sp1", "client", LinkFaults(drop_rate=drop))
     bus.install_faults(injector)
     IssuerService(bus, "ci", issuer)
     QueryService(bus, "sp1", provider)
@@ -164,6 +172,16 @@ def cmd_demo_network(args: argparse.Namespace) -> int:
         bus, "client", measurement, ias.public_key,
         issuers=["ci"], providers=["sp1", "sp2"],
         policy=RetryPolicy(timeout_ms=200.0, max_attempts=3),
+    )
+    return builder, bus, injector, client
+
+
+def cmd_demo_network(args: argparse.Namespace) -> int:
+    from repro.query import HistoryQuery
+
+    print(f"Mining and certifying {args.blocks} blocks...")
+    builder, bus, injector, client = _network_world(
+        args.blocks, args.drop, args.seed
     )
     print(f"Remote client bootstrapping over RPC "
           f"(dropping {args.drop:.0%} of messages to/from sp1)...")
@@ -214,14 +232,71 @@ def cmd_selftest(_: argparse.Namespace) -> int:
         "history", tip.block.header,
         tip.index_roots["history"], tip.index_certificates["history"],
     )
+    from repro.query.api import HistoryQuery, QueryAnswer
+
+    request = HistoryQuery(index="history", account="acct1", t_from=1, t_to=4)
     answer = issuer.indexes["history"].query_history("acct1", 1, 4)
-    assert client.verify_history("history", answer)
+    assert client.verify_answer(
+        request, QueryAnswer(request=request, payload=answer)
+    )
     checks += 1
     if answer.versions:
         tampered = replace(answer, versions=answer.versions[:-1])
-        assert not client.verify_history("history", tampered)
+        assert not client.verify_answer(
+            request, QueryAnswer(request=request, payload=tampered)
+        )
         checks += 1
     print(f"selftest ok ({checks} checks)")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.bench.reporting import print_table
+    from repro.query import HistoryQuery
+
+    with obs.observability():
+        obs.registry().reset()
+        builder, bus, injector, client = _network_world(
+            args.blocks, args.drop, args.seed
+        )
+        obs.set_virtual_clock(lambda: bus.clock_ms)
+        try:
+            client.bootstrap()
+            request = HistoryQuery(
+                index="history", account="acct1", t_from=1, t_to=builder.height
+            )
+            client.query(request)
+            snapshot = obs.registry().snapshot()
+        finally:
+            obs.set_virtual_clock(None)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print_table(
+        "Counters", ["counter", "value"],
+        sorted(snapshot["counters"].items()),
+    )
+    print_table(
+        "Gauges", ["gauge", "value"],
+        sorted(snapshot["gauges"].items()),
+    )
+    print_table(
+        "Histograms",
+        ["histogram", "count", "min", "mean", "max"],
+        [
+            [
+                name,
+                h["count"],
+                h["min"],
+                (h["sum"] / h["count"]) if h["count"] else 0.0,
+                h["max"],
+            ]
+            for name, h in sorted(snapshot["histograms"].items())
+        ],
+    )
     return 0
 
 
@@ -244,12 +319,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     network.add_argument("--seed", type=int, default=7)
     subparsers.add_parser("selftest", help="fast certification round trip")
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="run the networked demo with observability on; report metrics",
+    )
+    metrics.add_argument("--blocks", type=int, default=6)
+    metrics.add_argument(
+        "--drop", type=float, default=0.3,
+        help="drop rate on the client<->sp1 links (default 0.3)",
+    )
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="emit the raw metrics snapshot as JSON",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "info": cmd_info,
         "demo": cmd_demo,
         "demo-network": cmd_demo_network,
         "selftest": cmd_selftest,
+        "metrics": cmd_metrics,
     }
     return handlers[args.command](args)
 

@@ -15,9 +15,12 @@
   (Alg. 3) and verifiable-query result checking, locally
   (``SuperlightClient``) or over RPC with failover
   (``RemoteSuperlightClient``).
+* :mod:`client_api` — the :class:`LightClient` protocol both client
+  flavors implement (one verification surface, two transports).
 """
 
 from repro.core.certificate import Certificate
+from repro.core.client_api import LightClient
 from repro.core.digest import block_digest, index_digest
 from repro.core.enclave_program import DCertEnclaveProgram
 from repro.core.issuer import CertificateIssuer, CertifiedTip, IssuerService
@@ -35,6 +38,7 @@ __all__ = [
     "CertifiedTip",
     "DCertEnclaveProgram",
     "IssuerService",
+    "LightClient",
     "RemoteSuperlightClient",
     "StateSnapshot",
     "SuperlightClient",

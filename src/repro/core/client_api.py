@@ -1,0 +1,49 @@
+"""The unified light-client verification surface.
+
+Both client flavors — the in-process :class:`SuperlightClient` and the
+networked :class:`RemoteSuperlightClient` — expose the same five-method
+contract, captured here as a :class:`typing.Protocol` so call sites can
+be written once against :class:`LightClient` and handed either flavor.
+
+The protocol is ``runtime_checkable``: ``isinstance(obj, LightClient)``
+verifies (structurally) that every member is present, which is what the
+conformance tests assert for both implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.chain.block import BlockHeader
+from repro.core.certificate import Certificate
+from repro.crypto.hashing import Digest
+from repro.query.api import QueryAnswer, QueryRequest
+
+
+@runtime_checkable
+class LightClient(Protocol):
+    """What every DCert light client can do, regardless of transport."""
+
+    @property
+    def latest_header(self) -> BlockHeader | None:
+        """The adopted chain tip's header (None before bootstrap)."""
+        ...
+
+    def validate_chain(self, header: BlockHeader, cert: Certificate) -> bool:
+        """Alg. 3: adopt a candidate certified tip if it wins chain
+        selection; raise :class:`~repro.errors.CertificateError` when
+        the certificate is invalid."""
+        ...
+
+    def verify_answer(self, request: QueryRequest, answer: QueryAnswer) -> bool:
+        """Check a typed query answer against the certified index roots."""
+        ...
+
+    def certified_index_root(self, name: str) -> Digest:
+        """The latest certified root of index ``name``; raises
+        :class:`~repro.errors.CertificateError` when none is held."""
+        ...
+
+    def storage_bytes(self) -> int:
+        """The client's durable state size — the paper's constant budget."""
+        ...

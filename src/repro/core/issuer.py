@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.chain.block import Block, BlockHeader
 from repro.chain.consensus import ProofOfWork
 from repro.chain.node import FullNode
@@ -172,24 +173,32 @@ class CertificateIssuer:
         block or its state transition is invalid.  ``precomputed`` (from
         :meth:`preprocess`) skips re-running the untrusted side.
         """
-        result, update_proof = (
-            precomputed if precomputed is not None else self.preprocess(block)
-        )
-        prev = self.node.tip
-        sig = self.enclave.ecall(
-            "sig_gen",
-            prev,
-            self.latest_certificate,
-            block,
-            update_proof,
-            payload_bytes=update_proof.size_bytes(),
-        )
-        certificate = Certificate(
-            pk_enc=self.pk_enc,
-            report=self.report,
-            dig=block_digest(block.header),
-            sig=sig,
-        )
+        with obs.trace_span("issuer.gen_cert"):
+            result, update_proof = (
+                precomputed if precomputed is not None else self.preprocess(block)
+            )
+            prev = self.node.tip
+            sig = self.enclave.ecall(
+                "sig_gen",
+                prev,
+                self.latest_certificate,
+                block,
+                update_proof,
+                payload_bytes=update_proof.size_bytes(),
+            )
+            certificate = Certificate(
+                pk_enc=self.pk_enc,
+                report=self.report,
+                dig=block_digest(block.header),
+                sig=sig,
+            )
+        if obs.enabled():
+            obs.inc("issuer.certs_issued")
+            obs.observe(
+                "issuer.update_proof_bytes",
+                update_proof.size_bytes(),
+                boundaries=obs.SIZE_BYTES_BUCKETS,
+            )
         return certificate, update_proof, result.write_set
 
     def process_block(
@@ -215,6 +224,18 @@ class CertificateIssuer:
         for scheme in schemes:
             if scheme not in ("hierarchical", "augmented"):
                 raise CertificateError(f"unknown certification scheme {scheme!r}")
+        with obs.trace_span("issuer.process_block"):
+            return self._process_block(
+                block, schemes=schemes, precomputed=precomputed
+            )
+
+    def _process_block(
+        self,
+        block: Block,
+        *,
+        schemes: tuple[str, ...],
+        precomputed,
+    ) -> CertifiedBlock:
         if precomputed is not None:
             result, update_proof = precomputed
         else:
@@ -238,49 +259,53 @@ class CertificateIssuer:
 
         if "augmented" in schemes:
             for name, (prev_root, writes, index_proof, new_root) in ingests.items():
-                sig = self.enclave.ecall(
-                    "augmented_sig_gen",
-                    prev,
-                    self._aug_certs[name],
-                    prev_root,
-                    block,
-                    new_root,
-                    update_proof,
-                    index_proof,
-                    name,
-                    payload_bytes=update_proof.size_bytes()
-                    + index_proof.size_bytes(),
-                )
-                cert = Certificate(
-                    pk_enc=self.pk_enc,
-                    report=self.report,
-                    dig=index_digest(block.header, new_root),
-                    sig=sig,
-                )
+                with obs.trace_span("issuer.index_certification"):
+                    sig = self.enclave.ecall(
+                        "augmented_sig_gen",
+                        prev,
+                        self._aug_certs[name],
+                        prev_root,
+                        block,
+                        new_root,
+                        update_proof,
+                        index_proof,
+                        name,
+                        payload_bytes=update_proof.size_bytes()
+                        + index_proof.size_bytes(),
+                    )
+                    cert = Certificate(
+                        pk_enc=self.pk_enc,
+                        report=self.report,
+                        dig=index_digest(block.header, new_root),
+                        sig=sig,
+                    )
+                self._record_index_cert_metrics(index_proof)
                 self._aug_certs[name] = cert
                 certified.augmented_certificates[name] = cert
 
         if "hierarchical" in schemes:
             assert certificate is not None  # issued above for this scheme
             for name, (prev_root, writes, index_proof, new_root) in ingests.items():
-                sig = self.enclave.ecall(
-                    "index_sig_gen",
-                    prev.header,
-                    prev_root,
-                    self._index_certs[name],
-                    block.header,
-                    certificate,
-                    new_root,
-                    index_proof,
-                    name,
-                    payload_bytes=index_proof.size_bytes(),
-                )
-                cert = Certificate(
-                    pk_enc=self.pk_enc,
-                    report=self.report,
-                    dig=index_digest(block.header, new_root),
-                    sig=sig,
-                )
+                with obs.trace_span("issuer.index_certification"):
+                    sig = self.enclave.ecall(
+                        "index_sig_gen",
+                        prev.header,
+                        prev_root,
+                        self._index_certs[name],
+                        block.header,
+                        certificate,
+                        new_root,
+                        index_proof,
+                        name,
+                        payload_bytes=index_proof.size_bytes(),
+                    )
+                    cert = Certificate(
+                        pk_enc=self.pk_enc,
+                        report=self.report,
+                        dig=index_digest(block.header, new_root),
+                        sig=sig,
+                    )
+                self._record_index_cert_metrics(index_proof)
                 self._index_certs[name] = cert
                 certified.index_certificates[name] = cert
 
@@ -295,6 +320,15 @@ class CertificateIssuer:
             self.latest_certificate = certificate
         self.certified.append(certified)
         return certified
+
+    def _record_index_cert_metrics(self, index_proof) -> None:
+        if obs.enabled():
+            obs.inc("issuer.index_certs_issued")
+            obs.observe(
+                "issuer.index_proof_bytes",
+                index_proof.size_bytes(),
+                boundaries=obs.SIZE_BYTES_BUCKETS,
+            )
 
     # -- conveniences ----------------------------------------------------------
 

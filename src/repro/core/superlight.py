@@ -13,6 +13,9 @@ the SP's proofs against those roots.
 
 from __future__ import annotations
 
+import warnings
+
+from repro import obs
 from repro.chain.block import BlockHeader
 from repro.core.certificate import CERT_SIG_DOMAIN, Certificate
 from repro.core.digest import block_digest, index_digest
@@ -22,13 +25,18 @@ from repro.errors import CertificateError
 from repro.query.indexes import (
     AggregateAnswer,
     ValueRangeAnswer,
-    verify_value_range_answer,
     HistoryAnswer,
     KeywordAnswer,
-    verify_aggregate_answer,
-    verify_history_versions,
-    verify_keyword_results,
 )
+
+
+def _deprecated_verify(old: str, family: str) -> None:
+    warnings.warn(
+        f"SuperlightClient.{old} is deprecated; use "
+        f"verify_answer(request, answer) with a {family} request",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class SuperlightClient:
@@ -46,8 +54,12 @@ class SuperlightClient:
         # "A superlight client needs to check an attestation report only
         # once for the same enclave" (§4.3): cache verified reports.
         self._verified_reports: set[bytes] = set()
-        # Latest certified root per authenticated index.
+        # Latest certified root per authenticated index, plus the
+        # certificate vouching for it — the client must *hold* the
+        # index certificates (they are part of its durable state and
+        # its storage bill).
         self._index_roots: dict[str, tuple[int, Digest]] = {}
+        self._index_certs: dict[str, Certificate] = {}
 
     # -- Alg. 3 ---------------------------------------------------------------
 
@@ -58,11 +70,16 @@ class SuperlightClient:
         chain selection; raises :class:`CertificateError` when the
         certificate itself is invalid.
         """
-        self._check_certificate(cert, block_digest(header))
-        if not self._follows_chain_selection(header):
-            return False
-        self.latest_header = header
-        self.latest_certificate = cert
+        with obs.trace_span("client.validate_chain"):
+            self._check_certificate(cert, block_digest(header))
+            if not self._follows_chain_selection(header):
+                obs.inc("client.chain_validations_rejected")
+                return False
+            self.latest_header = header
+            self.latest_certificate = cert
+        if obs.enabled():
+            obs.inc("client.chain_validations")
+            obs.set_gauge("client.storage_bytes", self.storage_bytes())
         return True
 
     def validate_index_certificate(
@@ -74,6 +91,10 @@ class SuperlightClient:
         if current is not None and current[0] >= header.height:
             return False
         self._index_roots[name] = (header.height, index_root)
+        self._index_certs[name] = cert
+        if obs.enabled():
+            obs.inc("client.index_certs_adopted")
+            obs.set_gauge("client.storage_bytes", self.storage_bytes())
         return True
 
     # -- query verification ------------------------------------------------------
@@ -83,30 +104,73 @@ class SuperlightClient:
             raise CertificateError(f"no certified root for index {name!r}")
         return self._index_roots[name][1]
 
-    def verify_history(self, name: str, answer: HistoryAnswer) -> bool:
-        """Check a historical account answer against the certified root."""
-        return verify_history_versions(self.certified_index_root(name), answer)
-
-    def verify_keyword(self, name: str, answer: KeywordAnswer) -> bool:
-        """Check a keyword query answer against the certified root."""
-        return verify_keyword_results(self.certified_index_root(name), answer)
-
-    def verify_aggregate(self, name: str, answer: AggregateAnswer) -> bool:
-        """Check an aggregate (SUM/COUNT/MIN/MAX) answer against the
-        certified root of the aggregate index."""
-        return verify_aggregate_answer(self.certified_index_root(name), answer)
-
-    def verify_value_range(self, name: str, answer: ValueRangeAnswer) -> bool:
-        """Check a current-value range answer against the certified root."""
-        return verify_value_range_answer(self.certified_index_root(name), answer)
-
     def verify_answer(self, request, answer) -> bool:
         """Unified check of a typed :class:`repro.query.api.QueryAnswer`
         against the certified roots — the one verification entry point
         mirroring ``QueryServiceProvider.execute``."""
-        from repro.query.verifier import verify
+        from repro.query.verifier import verify as verify_query
 
-        return verify(request, answer, self.certified_index_root)
+        with obs.trace_span("client.verify_answer"):
+            ok = verify_query(request, answer, self.certified_index_root)
+        obs.inc("client.verify_ok" if ok else "client.verify_failed")
+        return ok
+
+    # -- deprecated per-type verification wrappers --------------------------
+    #
+    # Each builds the typed request the bare payload claims to answer
+    # and delegates to verify_answer: the echo check is then trivially
+    # satisfied and the payload's own claims + proofs are verified
+    # against the certified root, exactly as before.
+
+    def verify_history(self, name: str, answer: HistoryAnswer) -> bool:
+        """Deprecated: use ``verify_answer`` with a ``HistoryQuery``."""
+        from repro.query.api import HistoryQuery, QueryAnswer
+
+        _deprecated_verify("verify_history", "HistoryQuery")
+        request = HistoryQuery(
+            index=name,
+            account=answer.account,
+            t_from=answer.t_from,
+            t_to=answer.t_to,
+        )
+        return self.verify_answer(
+            request, QueryAnswer(request=request, payload=answer)
+        )
+
+    def verify_keyword(self, name: str, answer: KeywordAnswer) -> bool:
+        """Deprecated: use ``verify_answer`` with a ``KeywordQuery``."""
+        from repro.query.api import KeywordQuery, QueryAnswer
+
+        _deprecated_verify("verify_keyword", "KeywordQuery")
+        request = KeywordQuery(index=name, keywords=tuple(answer.keywords))
+        return self.verify_answer(
+            request, QueryAnswer(request=request, payload=answer)
+        )
+
+    def verify_aggregate(self, name: str, answer: AggregateAnswer) -> bool:
+        """Deprecated: use ``verify_answer`` with an ``AggregateQuery``."""
+        from repro.query.api import AggregateQuery, QueryAnswer
+
+        _deprecated_verify("verify_aggregate", "AggregateQuery")
+        request = AggregateQuery(
+            index=name,
+            account=answer.account,
+            t_from=answer.t_from,
+            t_to=answer.t_to,
+        )
+        return self.verify_answer(
+            request, QueryAnswer(request=request, payload=answer)
+        )
+
+    def verify_value_range(self, name: str, answer: ValueRangeAnswer) -> bool:
+        """Deprecated: use ``verify_answer`` with a ``ValueRangeQuery``."""
+        from repro.query.api import QueryAnswer, ValueRangeQuery
+
+        _deprecated_verify("verify_value_range", "ValueRangeQuery")
+        request = ValueRangeQuery(index=name, lo=answer.lo, hi=answer.hi)
+        return self.verify_answer(
+            request, QueryAnswer(request=request, payload=answer)
+        )
 
     # -- persistence ---------------------------------------------------------------
 
@@ -114,7 +178,8 @@ class SuperlightClient:
         """Serialize the client's durable state (a "wallet file").
 
         Exactly what Fig. 7a counts: the latest header + certificate,
-        plus the certified index roots — all constant-size.
+        plus the certified index roots and the index certificates
+        vouching for them — all constant-size per index.
         """
         import json
 
@@ -136,14 +201,18 @@ class SuperlightClient:
                     name: [height, root.hex()]
                     for name, (height, root) in self._index_roots.items()
                 },
+                "index_certificates": {
+                    name: cert.encode().decode("utf-8")
+                    for name, cert in self._index_certs.items()
+                },
             },
             sort_keys=True,
         )
 
     @classmethod
     def from_json(cls, data: str) -> "SuperlightClient":
-        """Restore a client; the stored certificate is *re-verified*, so
-        a tampered wallet file cannot smuggle in a bad tip."""
+        """Restore a client; stored certificates are *re-verified*, so a
+        tampered wallet file cannot smuggle in a bad tip or index cert."""
         import json
 
         from repro.crypto import PublicKey
@@ -157,19 +226,44 @@ class SuperlightClient:
             header = BlockHeader.decode(raw["header"].encode("utf-8"))
             certificate = Certificate.decode(raw["certificate"].encode("utf-8"))
             client.validate_chain(header, certificate)
+        index_certs = raw.get("index_certificates", {})
         for name, (height, root_hex) in raw.get("index_roots", {}).items():
-            client._index_roots[name] = (int(height), bytes.fromhex(root_hex))
+            height, root = int(height), bytes.fromhex(root_hex)
+            encoded_cert = index_certs.get(name)
+            if encoded_cert is not None:
+                cert = Certificate.decode(encoded_cert.encode("utf-8"))
+                if (
+                    client.latest_header is not None
+                    and client.latest_header.height == height
+                ):
+                    # The common case — index cert bound to the stored
+                    # tip: re-verify the full (header, root) binding.
+                    client._check_certificate(
+                        cert, index_digest(client.latest_header, root)
+                    )
+                else:
+                    # Adopted at an earlier height whose header is no
+                    # longer stored: re-verify report + signature (the
+                    # cert is genuinely enclave-issued for *its* digest).
+                    client._check_certificate(cert, cert.dig)
+                client._index_certs[name] = cert
+            client._index_roots[name] = (height, root)
         return client
 
     # -- bookkeeping ---------------------------------------------------------------
 
     def storage_bytes(self) -> int:
-        """Bytes the client persists: one header + one certificate."""
+        """Bytes the client persists: one header + one certificate, plus
+        each held index certificate and its (height, root) bookkeeping."""
         total = 0
         if self.latest_header is not None:
             total += self.latest_header.size_bytes()
         if self.latest_certificate is not None:
             total += self.latest_certificate.size_bytes()
+        for cert in self._index_certs.values():
+            total += cert.size_bytes()
+        for _height, root in self._index_roots.values():
+            total += len(root) + 8  # the certified root + its height
         return total
 
     # -- internals -------------------------------------------------------------------
@@ -349,11 +443,17 @@ class RemoteSuperlightClient:
             f"{type(request).__name__}"
         ) from last_error
 
-    # -- delegation ---------------------------------------------------------
+    # -- delegation (the LightClient surface) -------------------------------
 
     @property
     def latest_header(self) -> BlockHeader | None:
         return self.client.latest_header
+
+    def validate_chain(self, header: BlockHeader, cert: Certificate) -> bool:
+        return self.client.validate_chain(header, cert)
+
+    def verify_answer(self, request, answer) -> bool:
+        return self.client.verify_answer(request, answer)
 
     def certified_index_root(self, name: str) -> Digest:
         return self.client.certified_index_root(name)

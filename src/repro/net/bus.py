@@ -25,6 +25,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable
 
+from repro import obs
 from repro.errors import ReproError
 
 Handler = Callable[[object], None]
@@ -162,8 +163,10 @@ class MessageBus:
         at, _, receiver, topic, message = heapq.heappop(self._queue)
         self.clock_ms = max(self.clock_ms, at)
         if receiver is _TIMER:
+            obs.inc("net.bus.timer_fires")
             message()  # a scheduled callback
         else:
+            obs.inc("net.bus.deliveries")
             self._nodes[receiver].deliver(topic, message)
         return True
 

@@ -23,6 +23,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
+
 Corrupter = Callable[[object, random.Random], object]
 
 
@@ -117,6 +119,7 @@ class FaultInjector:
         stats = self.stats.setdefault((sender, receiver), LinkStats())
         if faults.drop_rate and self._rng.random() < faults.drop_rate:
             stats.dropped += 1
+            obs.inc("net.faults.dropped")
             return []
         delay = faults.extra_delay_ms
         if faults.jitter_ms:
@@ -126,10 +129,12 @@ class FaultInjector:
             tampered = corrupter(message, self._rng)
             if tampered is not message:
                 stats.corrupted += 1
+                obs.inc("net.faults.corrupted")
             message = tampered
         deliveries = [(delay, message)]
         if faults.duplicate_rate and self._rng.random() < faults.duplicate_rate:
             stats.duplicated += 1
+            obs.inc("net.faults.duplicated")
             deliveries.append((delay + faults.jitter_ms + 1.0, message))
         stats.delivered += len(deliveries)
         return deliveries

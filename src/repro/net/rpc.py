@@ -26,9 +26,11 @@ idempotent (every service in this library serves reads).
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, replace
 from typing import Callable
 
+from repro import obs
 from repro.errors import (
     RemoteCallError,
     ReproError,
@@ -111,6 +113,7 @@ class RpcServer:
     def _handle(self, message: object) -> None:
         if not isinstance(message, RpcRequest):
             self.requests_dropped += 1
+            obs.inc("rpc.server.dropped")
             return
         try:
             argument = wire.decode(message.payload)
@@ -118,7 +121,9 @@ class RpcServer:
             # A corrupted request is indistinguishable from line noise;
             # drop it and let the client's retry path recover.
             self.requests_dropped += 1
+            obs.inc("rpc.server.dropped")
             return
+        obs.inc("rpc.server.bytes_received", len(message.payload))
         handler = self._methods.get(message.method)
         if handler is None:
             self._reply(
@@ -126,13 +131,21 @@ class RpcServer:
                 error=("RemoteCallError", f"unknown method {message.method!r}"),
             )
             return
+        started = time.perf_counter()
         try:
             result = handler(argument)
         except ReproError as exc:
+            obs.inc(f"rpc.server.errors.{message.method}")
             self._reply(
                 message, ok=False, error=(type(exc).__name__, str(exc))
             )
             return
+        if obs.enabled():
+            obs.inc(f"rpc.server.requests.{message.method}")
+            obs.observe(
+                f"rpc.server.handle_ms.{message.method}",
+                (time.perf_counter() - started) * 1000.0,
+            )
         self.requests_served += 1
         self._reply(message, ok=True, result=result)
 
@@ -145,6 +158,7 @@ class RpcServer:
         error: tuple[str, str] | None = None,
     ) -> None:
         payload = wire.encode(result if ok else {"type": error[0], "message": error[1]})
+        obs.inc("rpc.server.bytes_sent", len(payload))
         self.bus.send(
             self.name,
             request.sender,
@@ -206,7 +220,12 @@ class RpcClient:
         """
         policy = policy or self.policy
         payload = wire.encode(argument)
+        obs.inc("rpc.client.calls")
+        virtual_started = self.bus.clock_ms
         for attempt in range(policy.max_attempts):
+            if attempt:
+                obs.inc("rpc.client.retries")
+            obs.inc("rpc.client.bytes_sent", len(payload))
             request_id = self._next_id
             self._next_id += 1
             self._pending.add(request_id)
@@ -229,9 +248,16 @@ class RpcClient:
                 self._pending.discard(request_id)
                 self.bus.wait_until(deadline)
                 self.timeouts += 1
+                obs.inc("rpc.client.timeouts")
                 if attempt + 1 < policy.max_attempts:
                     self.bus.run_for(policy.backoff_ms(attempt))
                 continue
+            if obs.enabled():
+                obs.inc("rpc.client.bytes_received", len(response.payload))
+                obs.observe(
+                    f"rpc.client.call_ms.{method}",
+                    self.bus.clock_ms - virtual_started,
+                )
             if not response.ok:
                 raise self._remote_error(response)
             try:

@@ -1,0 +1,57 @@
+"""Observability: process-local metrics and trace spans.
+
+The measurement substrate for the whole reproduction — see
+``docs/observability.md``.  Everything lives behind one global
+enable/disable switch that is near-zero-cost when off (the default):
+
+* :mod:`metrics` — :class:`MetricsRegistry` (counters, gauges,
+  fixed-bucket histograms), the global switch, and the module-level
+  recording helpers the instrumented hot paths call.
+* :mod:`tracing` — :func:`trace_span` context managers that nest and
+  stamp both wall time and the virtual bus clock.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.observability():      # or obs.set_enabled(True) / REPRO_OBS=1
+        run_workload()
+        snap = obs.snapshot()      # plain dict; wire- and JSON-safe
+"""
+
+from repro.obs.metrics import (
+    LATENCY_MS_BUCKETS,
+    SIZE_BYTES_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    enabled,
+    inc,
+    observability,
+    observe,
+    registry,
+    reset,
+    set_enabled,
+    set_gauge,
+    set_virtual_clock,
+    snapshot,
+)
+from repro.obs.tracing import current_span, trace_span
+
+__all__ = [
+    "Histogram",
+    "LATENCY_MS_BUCKETS",
+    "MetricsRegistry",
+    "SIZE_BYTES_BUCKETS",
+    "current_span",
+    "enabled",
+    "inc",
+    "observability",
+    "observe",
+    "registry",
+    "reset",
+    "set_enabled",
+    "set_gauge",
+    "set_virtual_clock",
+    "snapshot",
+    "trace_span",
+]

@@ -1,0 +1,227 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+The paper's headline claims are quantitative — 2.97 KB of client
+state, sub-millisecond validation, Ecall/EPC-paging-dominated issuer
+cost (Fig. 8) — so the hot paths (enclave, issuer, RPC, query,
+client) are instrumented against one process-local
+:class:`MetricsRegistry`.  Design constraints:
+
+* **dependency-free** — plain dicts and lists, stdlib only;
+* **near-zero cost when off** — every module-level helper
+  (:func:`inc`, :func:`observe`, :func:`set_gauge`) checks one module
+  global and returns immediately while observability is disabled,
+  which is the default;
+* **wire-safe snapshots** — :meth:`MetricsRegistry.snapshot` returns
+  only primitives, lists, and string-keyed dicts, so a snapshot
+  round-trips through :mod:`repro.net.wire` and serializes to JSON
+  for ``repro metrics --json`` and the BENCH result files.
+
+Histograms use *fixed* bucket boundaries chosen at first observation
+(defaults below), so two snapshots of the same metric are always
+mergeable and comparable across runs.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+#: Default boundaries for latency histograms (milliseconds).
+LATENCY_MS_BUCKETS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+#: Default boundaries for size histograms (bytes).
+SIZE_BYTES_BUCKETS: tuple[float, ...] = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
+)
+
+
+class Histogram:
+    """A fixed-boundary histogram with count/sum/min/max summaries.
+
+    Boundaries are upper-inclusive: an observation lands in the first
+    bucket whose boundary is >= the value; values beyond the last
+    boundary land in the overflow bucket (reported with a ``None``
+    upper bound).
+    """
+
+    __slots__ = ("boundaries", "bucket_counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, boundaries: tuple[float, ...] = LATENCY_MS_BUCKETS) -> None:
+        self.boundaries = tuple(sorted(boundaries))
+        self.bucket_counts = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary; the overflow bucket's bound is ``None``."""
+        bounds = list(self.boundaries) + [None]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": [
+                [bound, count]
+                for bound, count in zip(bounds, self.bucket_counts)
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms, and completed trace spans.
+
+    One global instance (:func:`registry`) backs the module-level
+    helpers; independent registries can be created for tests.
+    """
+
+    def __init__(self, *, max_spans: int = 512) -> None:
+        self.max_spans = max_spans
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.spans: list[dict] = []
+        #: Optional virtual-clock source (e.g. ``lambda: bus.clock_ms``)
+        #: stamped onto trace spans next to wall time.
+        self.virtual_clock: Callable[[], float] | None = None
+
+    # -- recording ----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def histogram(
+        self, name: str, boundaries: tuple[float, ...] | None = None
+    ) -> Histogram:
+        """Get-or-create; ``boundaries`` only applies on first creation."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram(boundaries or LATENCY_MS_BUCKETS)
+            self.histograms[name] = hist
+        return hist
+
+    def observe(
+        self, name: str, value: float, boundaries: tuple[float, ...] | None = None
+    ) -> None:
+        self.histogram(name, boundaries).observe(value)
+
+    def record_span(self, span: dict) -> None:
+        """Keep the most recent ``max_spans`` completed spans."""
+        self.spans.append(span)
+        if len(self.spans) > self.max_spans:
+            del self.spans[: len(self.spans) - self.max_spans]
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything recorded, as primitives/lists/str-keyed dicts only.
+
+        The result round-trips through :func:`repro.net.wire.encode` /
+        ``decode`` unchanged and serializes with :func:`json.dumps`.
+        """
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: hist.snapshot()
+                for name, hist in self.histograms.items()
+            },
+            "spans": [dict(span) for span in self.spans],
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.spans.clear()
+
+
+# -- the global switch and registry ----------------------------------------
+
+_REGISTRY = MetricsRegistry()
+
+#: Observability is opt-in: off unless REPRO_OBS is set to a truthy
+#: value, so uninstrumented runs pay only one bool check per call site.
+_ENABLED = os.environ.get("REPRO_OBS", "") not in ("", "0")
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry behind the module-level helpers."""
+    return _REGISTRY
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+@contextmanager
+def observability(on: bool = True) -> Iterator[MetricsRegistry]:
+    """Enable (or disable) observability within a scope, then restore."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(on)
+    try:
+        yield _REGISTRY
+    finally:
+        _ENABLED = previous
+
+
+def set_virtual_clock(clock: Callable[[], float] | None) -> None:
+    """Install the virtual-time source trace spans stamp (or ``None``)."""
+    _REGISTRY.virtual_clock = clock
+
+
+# -- near-zero-cost recording helpers ---------------------------------------
+#
+# Instrumented call sites go through these: when observability is off
+# each is one global load, one bool test, one return.
+
+def inc(name: str, value: float = 1) -> None:
+    if _ENABLED:
+        _REGISTRY.inc(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    if _ENABLED:
+        _REGISTRY.set_gauge(name, value)
+
+
+def observe(
+    name: str, value: float, boundaries: tuple[float, ...] | None = None
+) -> None:
+    if _ENABLED:
+        _REGISTRY.observe(name, value, boundaries)
+
+
+def snapshot() -> dict:
+    return _REGISTRY.snapshot()
+
+
+def reset() -> None:
+    _REGISTRY.reset()

@@ -1,0 +1,105 @@
+"""Nesting trace spans stamped with wall time *and* virtual bus time.
+
+``with trace_span("issuer.gen_cert"):`` brackets one unit of work.
+On exit the span
+
+* feeds the wall-clock duration into the histogram
+  ``"<name>_ms"`` (so every span automatically has a latency
+  distribution in :func:`repro.obs.metrics.snapshot`), and
+* records a span dict — name, parent span, nesting depth, wall-ms,
+  and, when a virtual clock is installed
+  (:func:`repro.obs.metrics.set_virtual_clock`), the virtual-time
+  delta ``vclock_ms`` — into the registry's bounded span buffer.
+
+Wall time measures *computation* (what Fig. 8's breakdowns count);
+virtual time measures *simulated network latency* (what the RPC layer
+spends on the :class:`repro.net.bus.MessageBus` clock).  The two
+advance independently, which is why spans stamp both.
+
+Spans nest through a plain stack: the simulation is single-threaded
+by construction (one deterministic bus drives everything), so no
+thread-local machinery is needed.  When observability is disabled,
+:func:`trace_span` returns a shared no-op context manager — no
+allocation, no clock reads.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import metrics
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+#: The live span stack (names), innermost last.
+_STACK: list[str] = []
+
+
+class Span:
+    """One active span; created by :func:`trace_span` when enabled."""
+
+    __slots__ = ("name", "_registry", "_wall_started", "_virtual_started")
+
+    def __init__(self, name: str, reg: metrics.MetricsRegistry) -> None:
+        self.name = name
+        self._registry = reg
+        self._wall_started = 0.0
+        self._virtual_started: float | None = None
+
+    def __enter__(self) -> "Span":
+        _STACK.append(self.name)
+        clock = self._registry.virtual_clock
+        self._virtual_started = clock() if clock is not None else None
+        self._wall_started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        wall_ms = (time.perf_counter() - self._wall_started) * 1000.0
+        _STACK.pop()
+        clock = self._registry.virtual_clock
+        vclock_ms = (
+            clock() - self._virtual_started
+            if clock is not None and self._virtual_started is not None
+            else None
+        )
+        self._registry.observe(f"{self.name}_ms", wall_ms)
+        self._registry.record_span(
+            {
+                "name": self.name,
+                "parent": _STACK[-1] if _STACK else None,
+                "depth": len(_STACK),
+                "wall_ms": wall_ms,
+                "vclock_ms": vclock_ms,
+            }
+        )
+        return False
+
+
+def trace_span(name: str) -> "Span | _NullSpan":
+    """Bracket one timed unit of work; no-op while observability is off.
+
+    The enabled/disabled decision is taken at ``with`` time: a span
+    that *starts* enabled records on exit even if the switch flips
+    mid-flight, so records are never half-missing.
+    """
+    if not metrics.enabled():
+        return _NULL_SPAN
+    return Span(name, metrics.registry())
+
+
+def current_span() -> str | None:
+    """The innermost active span's name (``None`` outside any span)."""
+    return _STACK[-1] if _STACK else None

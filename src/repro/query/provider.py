@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import warnings
 
+from repro import obs
 from repro.chain.block import Block
 from repro.chain.consensus import ProofOfWork
 from repro.chain.node import FullNode
@@ -99,6 +100,18 @@ class QueryServiceProvider:
         Raises :class:`QueryError` for an unknown index, an index of
         the wrong family, or an unrecognized request type.
         """
+        with obs.trace_span("query.execute"):
+            answer = self._execute(request)
+        if obs.enabled():
+            obs.inc(f"query.requests.{type(request).__name__}")
+            obs.observe(
+                "query.proof_bytes",
+                answer.proof_size_bytes(),
+                boundaries=obs.SIZE_BYTES_BUCKETS,
+            )
+        return answer
+
+    def _execute(self, request: QueryRequest) -> QueryAnswer:
         index = self._index(request.index)
         if isinstance(request, HistoryQuery):
             if not isinstance(index, TwoLevelHistoryIndex):

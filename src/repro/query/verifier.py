@@ -92,9 +92,11 @@ def verify(
             and verify_value_range_answer(root, payload)
         )
     if isinstance(request, KeywordQuery):
+        # The SP canonicalizes keywords to sorted-unique; compare the
+        # request's keywords under the same canonical form.
         return (
             isinstance(payload, KeywordAnswer)
-            and payload.keywords == tuple(request.keywords)
+            and payload.keywords == tuple(sorted(set(request.keywords)))
             and verify_keyword_results(root, payload)
         )
     return False

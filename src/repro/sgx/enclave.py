@@ -23,6 +23,7 @@ import inspect
 import time
 from typing import Any
 
+from repro import obs
 from repro.crypto.hashing import Digest, tagged_hash
 from repro.errors import EnclaveError
 from repro.sgx.attestation import AttestationReport, AttestationService, sign_quote
@@ -140,8 +141,10 @@ class EnclaveHost:
             if target is None:
                 raise EnclaveError(f"undefined ocall {ocall_name!r}")
             self.ledger.ocalls += 1
+            obs.inc("sgx.ocalls")
             if model_enabled():
                 self.ledger.transition_s += self.cost_model.ocall_transition_s
+                obs.inc("sgx.transition_s", self.cost_model.ocall_transition_s)
                 if self.cost_model.spend_time:
                     spend(self.cost_model.ocall_transition_s)
             return target(*args, **kwargs)
@@ -162,16 +165,30 @@ class EnclaveHost:
         charging = model_enabled()
         self.ledger.ecalls += 1
         self.ledger.peak_epc_bytes = max(self.ledger.peak_epc_bytes, payload_bytes)
-        paging = self.cost_model.paging_charge(payload_bytes) if charging else 0.0
+        paging = self.cost_model.paging_charge(payload_bytes)
         if charging:
             self.ledger.transition_s += self.cost_model.ecall_transition_s
             self.ledger.paging_s += paging
+        if obs.enabled():
+            obs.inc("sgx.ecalls")
+            obs.observe(
+                "sgx.ecall_payload_bytes",
+                payload_bytes,
+                boundaries=obs.SIZE_BYTES_BUCKETS,
+            )
+            obs.set_gauge("sgx.peak_epc_bytes", self.ledger.peak_epc_bytes)
+            if charging:
+                obs.inc("sgx.transition_s", self.cost_model.ecall_transition_s)
+            if paging > 0:
+                obs.inc("sgx.epc_paging_events")
+                obs.inc("sgx.epc_paging_s", paging)
         started = time.perf_counter()
         try:
             result = handler(*args, **kwargs)
         finally:
             elapsed = time.perf_counter() - started
             self.ledger.in_enclave_s += elapsed
+            obs.observe(f"sgx.ecall_ms.{name}", elapsed * 1000.0)
             if charging:
                 slowdown = elapsed * self.cost_model.enclave_slowdown_extra
                 self.ledger.slowdown_s += slowdown

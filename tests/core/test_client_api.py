@@ -1,0 +1,227 @@
+"""The unified LightClient surface: protocol conformance, the
+deprecated per-type verify wrappers, and the constant storage budget."""
+
+import pytest
+
+from repro.chain import ChainBuilder
+from repro.chain.genesis import make_genesis
+from repro.chain.transaction import sign_transaction
+from repro.core.client_api import LightClient
+from repro.core.superlight import (
+    RemoteSuperlightClient,
+    SuperlightClient,
+    compute_expected_measurement,
+)
+from repro.crypto import generate_keypair
+from repro.net.bus import MessageBus
+from repro.query.api import (
+    AggregateQuery,
+    HistoryQuery,
+    KeywordQuery,
+    QueryAnswer,
+    ValueRangeQuery,
+)
+from repro.query.indexes import (
+    AccountHistoryIndexSpec,
+    BalanceAggregateIndexSpec,
+    KeywordIndexSpec,
+    ValueRangeIndexSpec,
+)
+from repro.query.provider import QueryServiceProvider
+from repro.sgx.attestation import AttestationService
+from tests.conftest import fresh_vm
+
+#: The paper's constant client state: ~2.97 KB.
+PAPER_STORAGE_BUDGET_BYTES = int(2.97 * 1024)
+
+
+@pytest.fixture()
+def local_client(certified_setup):
+    setup = certified_setup
+    measurement = compute_expected_measurement(
+        setup["genesis"].header.header_hash(),
+        setup["ias"].public_key,
+        fresh_vm(),
+        setup["chain"].pow.difficulty_bits,
+        setup["specs"],
+    )
+    return SuperlightClient(measurement, setup["ias"].public_key)
+
+
+@pytest.fixture(scope="module")
+def four_family_world():
+    """A provider over all four index families, plus a client that
+    trusts its roots (injected directly: these tests exercise answer
+    verification, not certificate adoption)."""
+    user = generate_keypair(b"client-api-user")
+    builder = ChainBuilder(difficulty_bits=4, network="client-api")
+    nonce = [0]
+
+    def tx(contract, method, *args):
+        signed = sign_transaction(
+            user.private, nonce[0], contract, method, tuple(args)
+        )
+        nonce[0] += 1
+        return signed
+
+    builder.add_block([tx("smallbank", "create", "a1", "900", "100")])
+    for round_ in range(3):
+        builder.add_block([
+            tx("smallbank", "deposit_checking", "a1", "50"),
+            tx("kvstore", "put", "k1", f"v{round_}"),
+        ])
+    specs = [
+        AccountHistoryIndexSpec(name="history"),
+        KeywordIndexSpec(name="keyword"),
+        BalanceAggregateIndexSpec(name="aggregate"),
+        ValueRangeIndexSpec(name="range"),
+    ]
+    genesis, state = make_genesis(network="client-api")
+    provider = QueryServiceProvider(
+        genesis, state, fresh_vm(), builder.pow, specs
+    )
+    for block in builder.blocks[1:]:
+        provider.ingest_block(block)
+
+    ias = AttestationService(seed=b"client-api-ias")
+    client = SuperlightClient(b"\x11" * 32, ias.public_key)
+    for spec in specs:
+        client._index_roots[spec.name] = (
+            builder.height, provider.index_root(spec.name)
+        )
+    return provider, client, builder.height
+
+
+# -- protocol conformance ----------------------------------------------------
+
+
+def test_superlight_client_conforms(local_client):
+    assert isinstance(local_client, LightClient)
+
+
+def test_remote_client_conforms(certified_setup):
+    bus = MessageBus()
+    remote = RemoteSuperlightClient(
+        bus, "client",
+        certified_setup["issuer"].measurement,
+        certified_setup["ias"].public_key,
+        issuers=["ci"], providers=["sp"],
+    )
+    assert isinstance(remote, LightClient)
+
+
+def test_arbitrary_object_does_not_conform():
+    class NotAClient:
+        def storage_bytes(self) -> int:
+            return 0
+
+    assert not isinstance(NotAClient(), LightClient)
+
+
+def test_both_flavors_usable_through_the_protocol(certified_setup, local_client):
+    def storage_of(client: LightClient) -> int:
+        return client.storage_bytes()
+
+    bus = MessageBus()
+    remote = RemoteSuperlightClient(
+        bus, "client",
+        certified_setup["issuer"].measurement,
+        certified_setup["ias"].public_key,
+        issuers=["ci"], providers=["sp"],
+    )
+    assert storage_of(local_client) == 0
+    assert storage_of(remote) == 0
+
+
+# -- deprecated per-type wrappers -------------------------------------------
+
+
+def test_verify_history_wrapper_warns_and_delegates(four_family_world):
+    provider, client, height = four_family_world
+    request = HistoryQuery(index="history", account="k1", t_from=1, t_to=height)
+    answer = provider.execute(request)
+    with pytest.warns(DeprecationWarning, match="verify_history"):
+        ok = client.verify_history("history", answer.payload)
+    assert ok
+    assert client.verify_answer(request, answer)
+
+
+def test_verify_keyword_wrapper_warns_and_delegates(four_family_world):
+    provider, client, _height = four_family_world
+    request = KeywordQuery(index="keyword", keywords=("k1",))
+    answer = provider.execute(request)
+    with pytest.warns(DeprecationWarning, match="verify_keyword"):
+        ok = client.verify_keyword("keyword", answer.payload)
+    assert ok
+    assert client.verify_answer(request, answer)
+
+
+def test_verify_aggregate_wrapper_warns_and_delegates(four_family_world):
+    provider, client, height = four_family_world
+    request = AggregateQuery(
+        index="aggregate", account="a1", t_from=1, t_to=height
+    )
+    answer = provider.execute(request)
+    with pytest.warns(DeprecationWarning, match="verify_aggregate"):
+        ok = client.verify_aggregate("aggregate", answer.payload)
+    assert ok
+    assert client.verify_answer(request, answer)
+
+
+def test_verify_value_range_wrapper_warns_and_delegates(four_family_world):
+    provider, client, _height = four_family_world
+    request = ValueRangeQuery(index="range", lo=0, hi=10_000)
+    answer = provider.execute(request)
+    with pytest.warns(DeprecationWarning, match="verify_value_range"):
+        ok = client.verify_value_range("range", answer.payload)
+    assert ok
+    assert client.verify_answer(request, answer)
+
+
+def test_wrappers_still_reject_tampered_answers(four_family_world):
+    from dataclasses import replace
+
+    provider, client, height = four_family_world
+    request = HistoryQuery(index="history", account="k1", t_from=1, t_to=height)
+    answer = provider.execute(request)
+    tampered = replace(answer.payload, versions=answer.payload.versions[:-1])
+    with pytest.warns(DeprecationWarning):
+        assert not client.verify_history("history", tampered)
+    assert not client.verify_answer(
+        request, QueryAnswer(request=request, payload=tampered)
+    )
+
+
+# -- the storage budget (Fig. 7a) -------------------------------------------
+
+
+def test_storage_counts_index_certificates(local_client, certified_setup):
+    tip = certified_setup["issuer"].certified[-1]
+    local_client.validate_chain(tip.block.header, tip.certificate)
+    base = local_client.storage_bytes()
+    assert base == (
+        tip.block.header.size_bytes() + tip.certificate.size_bytes()
+    )
+    cert = tip.index_certificates["history"]
+    local_client.validate_index_certificate(
+        "history", tip.block.header, tip.index_roots["history"], cert
+    )
+    grown = local_client.storage_bytes()
+    # One index certificate plus its (height, root) bookkeeping.
+    assert grown == base + cert.size_bytes() + 32 + 8
+
+
+def test_full_client_state_within_paper_budget(local_client, certified_setup):
+    """Header + certificate + every index certificate: ~2.97 KB."""
+    tip = certified_setup["issuer"].certified[-1]
+    local_client.validate_chain(tip.block.header, tip.certificate)
+    for name in ("history", "keyword"):
+        local_client.validate_index_certificate(
+            name, tip.block.header,
+            tip.index_roots[name], tip.index_certificates[name],
+        )
+    total = local_client.storage_bytes()
+    assert 0 < total <= PAPER_STORAGE_BUDGET_BYTES
+    # The wallet file is the durable form of exactly this state.
+    restored = SuperlightClient.from_json(local_client.to_json())
+    assert restored.storage_bytes() == total

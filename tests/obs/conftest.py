@@ -1,0 +1,17 @@
+"""Observability tests share one global registry — keep it clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.registry().reset()
+    obs.set_virtual_clock(None)
+    yield
+    obs.set_enabled(False)
+    obs.set_virtual_clock(None)
+    obs.registry().reset()

@@ -1,0 +1,110 @@
+"""The metrics registry: counters, gauges, histograms, the switch."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.net import wire
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def test_counters_accumulate():
+    registry = MetricsRegistry()
+    registry.inc("a")
+    registry.inc("a", 4)
+    registry.inc("b", 2.5)
+    assert registry.counters == {"a": 5, "b": 2.5}
+
+
+def test_gauges_overwrite():
+    registry = MetricsRegistry()
+    registry.set_gauge("g", 10)
+    registry.set_gauge("g", 3)
+    assert registry.gauges == {"g": 3}
+
+
+def test_histogram_bucketing():
+    hist = Histogram(boundaries=(1.0, 10.0, 100.0))
+    for value in (0.5, 1.0, 5.0, 100.0, 1e6):
+        hist.observe(value)
+    snap = hist.snapshot()
+    assert snap["count"] == 5
+    assert snap["min"] == 0.5
+    assert snap["max"] == 1e6
+    # Upper-inclusive buckets, with [None, n] as the overflow bucket.
+    assert snap["buckets"] == [[1.0, 2], [10.0, 1], [100.0, 1], [None, 1]]
+    assert hist.mean() == pytest.approx(sum((0.5, 1.0, 5.0, 100.0, 1e6)) / 5)
+
+
+def test_histogram_boundaries_fixed_at_creation():
+    registry = MetricsRegistry()
+    registry.observe("h", 1.0, boundaries=(5.0,))
+    registry.observe("h", 2.0, boundaries=(99.0,))  # ignored: not first
+    assert registry.histograms["h"].boundaries == (5.0,)
+
+
+def test_disabled_helpers_record_nothing():
+    assert not obs.enabled()
+    obs.inc("nope")
+    obs.set_gauge("nope", 1)
+    obs.observe("nope", 1.0)
+    snap = obs.snapshot()
+    assert snap["counters"] == {}
+    assert snap["gauges"] == {}
+    assert snap["histograms"] == {}
+
+
+def test_enabled_helpers_record():
+    with obs.observability():
+        obs.inc("c", 2)
+        obs.set_gauge("g", 7)
+        obs.observe("h", 3.0)
+    snap = obs.snapshot()
+    assert snap["counters"] == {"c": 2}
+    assert snap["gauges"] == {"g": 7}
+    assert snap["histograms"]["h"]["count"] == 1
+
+
+def test_observability_restores_previous_state():
+    obs.set_enabled(True)
+    with obs.observability(False):
+        assert not obs.enabled()
+    assert obs.enabled()
+    obs.set_enabled(False)
+    with obs.observability():
+        assert obs.enabled()
+    assert not obs.enabled()
+
+
+def test_reset_clears_everything():
+    with obs.observability():
+        obs.inc("c")
+        obs.observe("h", 1.0)
+        with obs.trace_span("s"):
+            pass
+    obs.reset()
+    snap = obs.snapshot()
+    assert snap == {"counters": {}, "gauges": {}, "histograms": {}, "spans": []}
+
+
+def test_snapshot_round_trips_through_wire_codec():
+    with obs.observability():
+        obs.inc("requests", 3)
+        obs.set_gauge("storage", 2971.0)
+        obs.observe("latency_ms", 0.42)
+        obs.observe("bytes", 700, boundaries=obs.SIZE_BYTES_BUCKETS)
+        with obs.trace_span("outer"):
+            with obs.trace_span("inner"):
+                pass
+    snap = obs.snapshot()
+    assert wire.decode(wire.encode(snap)) == snap
+    # And it is plain JSON too (what `repro metrics --json` prints).
+    assert json.loads(json.dumps(snap)) == snap
+
+
+def test_span_buffer_is_bounded():
+    registry = MetricsRegistry(max_spans=3)
+    for index in range(10):
+        registry.record_span({"name": f"s{index}"})
+    assert [span["name"] for span in registry.spans] == ["s7", "s8", "s9"]

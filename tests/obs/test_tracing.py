@@ -1,0 +1,64 @@
+"""Trace spans: nesting, the null path, wall + virtual clocks."""
+
+from repro import obs
+from repro.obs.tracing import _NULL_SPAN, current_span, trace_span
+
+
+def test_disabled_returns_shared_null_span():
+    assert not obs.enabled()
+    span = trace_span("anything")
+    assert span is _NULL_SPAN
+    with span:
+        pass
+    assert obs.snapshot()["spans"] == []
+    assert obs.snapshot()["histograms"] == {}
+
+
+def test_span_records_histogram_and_span_entry():
+    with obs.observability():
+        with trace_span("unit.work"):
+            pass
+    snap = obs.snapshot()
+    assert snap["histograms"]["unit.work_ms"]["count"] == 1
+    (span,) = snap["spans"]
+    assert span["name"] == "unit.work"
+    assert span["parent"] is None
+    assert span["depth"] == 0
+    assert span["wall_ms"] >= 0.0
+    assert span["vclock_ms"] is None  # no virtual clock installed
+
+
+def test_spans_nest_with_parent_and_depth():
+    with obs.observability():
+        with trace_span("outer"):
+            assert current_span() == "outer"
+            with trace_span("inner"):
+                assert current_span() == "inner"
+        assert current_span() is None
+    spans = {span["name"]: span for span in obs.snapshot()["spans"]}
+    assert spans["inner"]["parent"] == "outer"
+    assert spans["inner"]["depth"] == 1
+    assert spans["outer"]["parent"] is None
+    assert spans["outer"]["depth"] == 0
+    # Inner exits first, so it is recorded first.
+    assert [span["name"] for span in obs.snapshot()["spans"]] == [
+        "inner", "outer",
+    ]
+
+
+def test_virtual_clock_stamped_on_spans():
+    clock = {"now": 100.0}
+    obs.set_virtual_clock(lambda: clock["now"])
+    with obs.observability():
+        with trace_span("rpc.call"):
+            clock["now"] += 250.0  # simulated network time passes
+    (span,) = obs.snapshot()["spans"]
+    assert span["vclock_ms"] == 250.0
+
+
+def test_span_started_enabled_records_even_if_disabled_midway():
+    obs.set_enabled(True)
+    span = trace_span("flipped")
+    with span:
+        obs.set_enabled(False)
+    assert [s["name"] for s in obs.snapshot()["spans"]] == ["flipped"]

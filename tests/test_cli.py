@@ -1,4 +1,6 @@
-"""The CLI: info, selftest, demo."""
+"""The CLI: info, selftest, demo, demo-network, metrics."""
+
+import json
 
 import pytest
 
@@ -21,6 +23,46 @@ def test_demo(capsys):
     out = capsys.readouterr().out
     assert "Superlight client validated" in out
     assert "verified=True" in out
+
+
+def test_demo_network(capsys):
+    assert main(["demo-network", "--blocks", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "adopted certified tip at height 3" in out
+    assert "Verified query over RPC" in out
+
+
+def test_metrics_text(capsys):
+    assert main(["metrics", "--blocks", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "== Counters ==" in out
+    assert "sgx.ecalls" in out
+    assert "rpc.client.calls" in out
+    assert "== Histograms ==" in out
+    assert "query.proof_bytes" in out
+
+
+def test_metrics_json(capsys):
+    assert main(["metrics", "--blocks", "3", "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["counters"]["sgx.ecalls"] > 0
+    assert snapshot["counters"]["issuer.certs_issued"] == 3
+    assert snapshot["histograms"]["query.proof_bytes"]["count"] >= 1
+    assert any(
+        name.startswith("rpc.client.call_ms.")
+        for name in snapshot["histograms"]
+    )
+    # Spans carry both clocks; RPC spans see virtual time advance.
+    assert snapshot["spans"], "expected completed trace spans"
+    assert all("wall_ms" in span for span in snapshot["spans"])
+
+
+def test_metrics_leaves_observability_disabled():
+    from repro import obs
+
+    assert main(["metrics", "--blocks", "3", "--json"]) == 0
+    assert not obs.enabled()
+    assert obs.registry().virtual_clock is None
 
 
 def test_unknown_command_rejected():
