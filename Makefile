@@ -1,9 +1,16 @@
 PYTHON ?= python
 
-.PHONY: test bench lint selftest check metrics
+.PHONY: test bench lint selftest check metrics proptest
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Dependency-free property tests (tests/proptest): deterministic by
+# default (fixed seed); REPRO_PROPTEST_CASES=n deepens the run and
+# REPRO_PROPTEST_SEED=n explores a different stream.  Failures print a
+# one-case replay command.
+proptest:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/proptest -q
 
 check: lint test
 

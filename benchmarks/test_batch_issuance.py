@@ -1,0 +1,157 @@
+"""Batched certificate issuance — speedup vs batch size.
+
+Certify the same KV workload sequentially (one ecall per block + one
+per index update) and through the batched pipeline at several batch
+sizes K.  The modeled certification cost per block is the cost-model
+ledger delta (in-enclave work + transitions + slowdown + paging) over
+the run; batching amortizes the anchor-certificate verifications and
+the enclave transitions, and the proof cache stops consecutive blocks
+from re-shipping (and re-verifying) proofs for overlapping state.
+
+Reproduced claims:
+
+* K = 8 cuts the modeled per-block certification cost by >= 2x against
+  the sequential path;
+* the speedup plateaus rather than regresses past K = 8 (the per-block
+  integrity work is a floor batching cannot remove; the deterministic
+  transition overhead keeps shrinking with K);
+* the batched path's certificates carry exactly the sequential path's
+  digests and signatures (the determinism guarantee, checked in full
+  in tests/core/test_batch_differential.py);
+* the proof cache hits on the workload's hot keys (hit rate > 0).
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.bench.harness import CertifiedChainHarness
+from repro.bench.reporting import bench_record, print_table
+from repro.query.indexes import AccountHistoryIndexSpec, KeywordIndexSpec
+
+#: Transactions per block.  The replay cost (one ECDSA verify per tx)
+#: is identical on both paths, so small blocks isolate the amortizable
+#: fraction (anchor-certificate verifies + transitions) the batch saves.
+_BLOCK_SIZE = 4
+
+
+def _specs():
+    return [
+        AccountHistoryIndexSpec(name="history"),
+        KeywordIndexSpec(name="keyword"),
+    ]
+
+
+def _run(params, batch_size: int):
+    """Certify one KV run at ``batch_size`` (1 = sequential path)."""
+    harness = CertifiedChainHarness(
+        params,
+        index_specs=_specs(),
+        network="batch-bench",
+        proof_cache_entries=512 if batch_size > 1 else 0,
+    )
+    blocks = max(params.cert_blocks, 2 * batch_size)
+    before = harness.issuer.enclave.ledger.snapshot()
+    if batch_size == 1:
+        harness.grow_workload("KV", blocks, _BLOCK_SIZE)
+    else:
+        harness.grow_workload_batched(
+            "KV", blocks, _BLOCK_SIZE, batch_size=batch_size
+        )
+    delta = harness.issuer.enclave.ledger.delta(before)
+    modeled_s = delta.in_enclave_s + delta.total_overhead_s()
+    return harness, blocks, delta, modeled_s / blocks
+
+
+def test_batch_issuance_speedup(params, benchmark):
+    sweep = (1, 4, 8, 16)
+    rows = []
+    record = {}
+    per_block = {}
+    harnesses = {}
+    with obs.observability():
+        obs.registry().reset()
+        for batch_size in sweep:
+            harness, blocks, delta, cost_s = _run(params, batch_size)
+            harnesses[batch_size] = harness
+            per_block[batch_size] = cost_s
+            stats = harness.issuer.proof_cache.stats()
+            rows.append([
+                batch_size,
+                blocks,
+                delta.ecalls,
+                round(cost_s * 1000, 2),
+                round(per_block[1] / cost_s, 2),
+                f"{stats['hit_rate']:.0%}",
+                delta.peak_epc_bytes,
+            ])
+            record[f"K{batch_size}"] = {
+                "blocks": blocks,
+                "ecalls": delta.ecalls,
+                "modeled_cost_per_block_ms": cost_s * 1000,
+                "speedup_vs_sequential": per_block[1] / cost_s,
+                "cache_hit_rate": stats["hit_rate"],
+                "cache_hits": stats["hits"],
+                "cache_misses": stats["misses"],
+                "peak_epc_bytes": delta.peak_epc_bytes,
+            }
+        snapshot = obs.registry().snapshot()
+    print_table(
+        "Batched issuance — modeled certification cost vs batch size "
+        f"(block size {_BLOCK_SIZE}, 2 indexes)",
+        ["K", "blocks", "ecalls", "cost/blk ms", "speedup", "cache hits",
+         "peak EPC B"],
+        rows,
+    )
+    record["metrics"] = {
+        "transitions_saved": snapshot["counters"].get(
+            "issuer.batch_transitions_saved", 0
+        ),
+        "proof_cache_hit_rate": snapshot["gauges"].get(
+            "issuer.proof_cache_hit_rate", 0.0
+        ),
+        "proof_cache_entries": snapshot["gauges"].get(
+            "issuer.proof_cache_entries", 0
+        ),
+    }
+    bench_record("batch_issuance", record)
+
+    # Reproduced claims.
+    assert per_block[1] / per_block[8] >= 2.0, (
+        f"K=8 speedup {per_block[1] / per_block[8]:.2f}x < 2x"
+    )
+    assert per_block[4] < per_block[1]
+    # Past K=8 the cost plateaus: still >=2x vs sequential (in_enclave_s
+    # is measured wall time, so K16-vs-K8 itself is within noise), while
+    # the deterministic transition overhead keeps strictly shrinking.
+    assert per_block[1] / per_block[16] >= 2.0
+    assert (
+        record["K16"]["ecalls"] / record["K16"]["blocks"]
+        < record["K8"]["ecalls"] / record["K8"]["blocks"]
+    )
+    assert record["K8"]["cache_hit_rate"] > 0.0
+    assert record["metrics"]["transitions_saved"] > 0
+
+    # Determinism spot check: the batched run signed exactly the same
+    # digests with the same signatures as the sequential run (reports
+    # differ only because each harness platform has its own fused key).
+    seq, k8 = harnesses[1].issuer, harnesses[8].issuer
+    # Runs may differ in length (blocks = max(cert_blocks, 2K)); the
+    # common prefix is the same mined chain and must certify identically.
+    assert min(len(seq.certified), len(k8.certified)) >= params.cert_blocks
+    for a, b in zip(seq.certified, k8.certified):
+        assert a.certificate.dig == b.certificate.dig
+        assert a.certificate.sig == b.certificate.sig
+        assert a.index_roots == b.index_roots
+
+    # pytest-benchmark target: one K=8 batch, staged and certified.
+    bench_harness = CertifiedChainHarness(
+        params,
+        index_specs=_specs(),
+        network="batch-bench-pedantic",
+        proof_cache_entries=512,
+    )
+
+    def one_batch():
+        bench_harness.grow_workload_batched("KV", 8, _BLOCK_SIZE, batch_size=8)
+
+    benchmark.pedantic(one_batch, rounds=3, iterations=1)

@@ -35,13 +35,13 @@ def _fresh_vm():
     return vm
 
 
-def _build_world(blocks: int = 10, block_size: int = 3):
+def _build_world(blocks: int = 10, block_size: int = 3, batch_size: int = 1):
     from repro.chain import ChainBuilder
     from repro.chain.genesis import make_genesis
     from repro.chain.transaction import sign_transaction
     from repro.chain.vm import VM
     from repro.contracts import BLOCKBENCH
-    from repro.core import CertificateIssuer
+    from repro.core import CertificateIssuer, CertificationPipeline
     from repro.crypto import generate_keypair
     from repro.query.indexes import AccountHistoryIndexSpec
     from repro.sgx.attestation import AttestationService
@@ -69,9 +69,16 @@ def _build_world(blocks: int = 10, block_size: int = 3):
     issuer = CertificateIssuer(
         genesis, state, vm, builder.pow,
         index_specs=[spec], ias=ias, key_seed=b"cli-enclave",
+        proof_cache_entries=256 if batch_size > 1 else 0,
     )
-    for block in builder.blocks[1:]:
-        issuer.process_block(block)
+    if batch_size > 1:
+        pipeline = CertificationPipeline(issuer, batch_size=batch_size)
+        for block in builder.blocks[1:]:
+            pipeline.submit(block)
+        pipeline.close()
+    else:
+        for block in builder.blocks[1:]:
+            issuer.process_block(block)
     return builder, issuer, ias, spec, genesis, vm
 
 
@@ -100,11 +107,21 @@ def cmd_info(_: argparse.Namespace) -> int:
 def cmd_demo(args: argparse.Namespace) -> int:
     from repro.core import SuperlightClient, compute_expected_measurement
 
-    print(f"Mining and certifying {args.blocks} blocks...")
+    batch = getattr(args, "batch_size", 1)
+    mode = f" in batches of {batch}" if batch > 1 else ""
+    print(f"Mining and certifying {args.blocks} blocks{mode}...")
     started = time.perf_counter()
-    builder, issuer, ias, spec, genesis, vm = _build_world(blocks=args.blocks)
+    builder, issuer, ias, spec, genesis, vm = _build_world(
+        blocks=args.blocks, batch_size=batch
+    )
     print(f"  done in {time.perf_counter() - started:.1f}s "
           f"({issuer.enclave.ledger.ecalls} ecalls)")
+    if batch > 1:
+        stats = issuer.proof_cache.stats()
+        saved = args.blocks * 2 - issuer.enclave.ledger.ecalls
+        print(f"  proof cache: {stats['hits']} hits / {stats['misses']} misses "
+              f"({stats['hit_rate']:.0%} hit rate), "
+              f"{saved} enclave transitions saved")
 
     measurement = compute_expected_measurement(
         genesis.header.header_hash(), ias.public_key, vm,
@@ -308,6 +325,11 @@ def main(argv: list[str] | None = None) -> int:
     subparsers.add_parser("info", help="print the library inventory")
     demo = subparsers.add_parser("demo", help="end-to-end demonstration")
     demo.add_argument("--blocks", type=int, default=10)
+    demo.add_argument(
+        "--batch-size", type=int, default=1, dest="batch_size",
+        help="certify in batches of this many blocks per ecall "
+             "(1 = sequential; >1 enables the proof cache)",
+    )
     network = subparsers.add_parser(
         "demo-network",
         help="remote client over RPC with fault injection and SP failover",

@@ -19,11 +19,13 @@
   flavors implement (one verification surface, two transports).
 """
 
+from repro.core.batch import BatchItem, IndexUpdate
 from repro.core.certificate import Certificate
 from repro.core.client_api import LightClient
 from repro.core.digest import block_digest, index_digest
 from repro.core.enclave_program import DCertEnclaveProgram
 from repro.core.issuer import CertificateIssuer, CertifiedTip, IssuerService
+from repro.core.pipeline import CertificationPipeline, PipelineStats
 from repro.core.statesync import StateSnapshot, bootstrap_full_node, export_snapshot
 from repro.core.superlight import (
     RemoteSuperlightClient,
@@ -33,11 +35,15 @@ from repro.core.superlight import (
 from repro.core.updateproof import UpdateProof
 
 __all__ = [
+    "BatchItem",
     "Certificate",
     "CertificateIssuer",
+    "CertificationPipeline",
     "CertifiedTip",
     "DCertEnclaveProgram",
+    "IndexUpdate",
     "IssuerService",
+    "PipelineStats",
     "LightClient",
     "RemoteSuperlightClient",
     "StateSnapshot",

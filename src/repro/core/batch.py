@@ -1,0 +1,51 @@
+"""Shared types for the batched certification path.
+
+These are the objects that cross the Ecall boundary for
+``DCertEnclaveProgram.sig_gen_batch``: a :class:`BatchItem` per block
+(its pruned update proof plus one :class:`IndexUpdate` per
+authenticated index).  They live in their own module so both sides of
+the boundary — the untrusted issuer (:mod:`repro.core.issuer`) and the
+trusted program (:mod:`repro.core.enclave_program`) — can import them
+without a cycle, and so they stay plain wire-safe dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.block import Block
+from repro.core.updateproof import UpdateProof
+from repro.crypto.hashing import Digest
+
+
+@dataclass(frozen=True, slots=True)
+class IndexUpdate:
+    """One authenticated index's per-block update, ready to certify."""
+
+    prev_root: Digest
+    new_root: Digest
+    proof: object  # the index-specific update proof dataclass
+
+    def size_bytes(self) -> int:
+        return len(self.prev_root) + len(self.new_root) + self.proof.size_bytes()
+
+
+@dataclass(frozen=True, slots=True)
+class BatchItem:
+    """Everything the enclave needs to certify one block of a batch.
+
+    ``update_proof`` covers only the touched keys the enclave's carried
+    slice does *not* already prove (the proof-cache misses); a fresh
+    enclave (or one whose slice was invalidated) simply receives full
+    proofs because the CI-side mirror starts empty too.
+    """
+
+    block: Block
+    update_proof: UpdateProof
+    index_updates: dict[str, IndexUpdate] = field(default_factory=dict)
+
+    def payload_bytes(self) -> int:
+        """Marshalled size of this item (per-block EPC working set)."""
+        return self.update_proof.size_bytes() + sum(
+            update.size_bytes() for update in self.index_updates.values()
+        )

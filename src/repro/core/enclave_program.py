@@ -31,6 +31,7 @@ from repro.chain.block import Block, BlockHeader
 from repro.chain.consensus import ProofOfWork
 from repro.chain.executor import TransactionExecutor
 from repro.chain.vm import VM
+from repro.core.batch import BatchItem
 from repro.core.certificate import CERT_SIG_DOMAIN, Certificate
 from repro.core.digest import block_digest, index_digest
 from repro.core.updateproof import UpdateProof
@@ -43,6 +44,13 @@ from repro.sgx.enclave import EnclaveProgram
 #: How many recently certified blocks' write sets the enclave caches for
 #: the hierarchical scheme's follow-up index ecalls.
 _WRITE_SET_CACHE = 4
+
+#: Hard cap on the carried proof slice (entries).  Cache policy is
+#: untrusted (the CI sends eviction hints), so a CI that never evicts
+#: could otherwise grow the enclave's working set without bound; past
+#: the cap the enclave drops the whole slice — a pure performance
+#: penalty, never a soundness issue.
+_CARRIED_SLICE_CAP = 4096
 
 
 class _NoState:
@@ -63,6 +71,7 @@ class DCertEnclaveProgram(EnclaveProgram):
 
     ECALLS = (
         "sig_gen",
+        "sig_gen_batch",
         "sig_gen_lazy",
         "augmented_sig_gen",
         "index_sig_gen",
@@ -90,6 +99,11 @@ class DCertEnclaveProgram(EnclaveProgram):
         self._sealed_key = sealed_key
         # Hierarchical-scheme cache: block hash -> (block, write set).
         self._recent: dict[Digest, tuple[Block, dict[bytes, bytes | None]]] = {}
+        # Batched-scheme proof cache: the verified partial-SMT slice
+        # carried across consecutive batches, and the state root it is
+        # valid against.  See sig_gen_batch.
+        self._carried_slice = None
+        self._carried_root: Digest = b""
 
     # -- enclave lifecycle ---------------------------------------------------
 
@@ -170,6 +184,155 @@ class DCertEnclaveProgram(EnclaveProgram):
         return sign(
             self._keypair.private, block_digest(blk_new.header), CERT_SIG_DOMAIN
         )
+
+    # -- ecall: batched block + index certificates ------------------------------
+
+    def sig_gen_batch(
+        self,
+        blk_prev: Block,
+        cert_prev: Certificate | None,
+        index_anchor_certs: dict[str, Certificate | None],
+        items: tuple[BatchItem, ...],
+        evict_keys: tuple[bytes, ...] = (),
+    ) -> tuple[tuple[Signature, dict[str, Signature]], ...]:
+        """Certify a run of K blocks (and their index updates) in ONE ecall.
+
+        Trust anchors exactly like the sequential path: the previous
+        block's certificate (or the hard-coded genesis) and, per index,
+        the previous index certificate (or the genesis index root).
+        *Inside* the batch no certificate is verified — the enclave just
+        verified block ``i`` itself, so block ``i+1`` chains on that
+        in-enclave fact instead of a signature, and each index update
+        must chain root-to-root.  Every block is verified by the same
+        full replay as ``sig_gen`` (``blk_verify_t``'s checks), so the
+        signatures — and hence the certificates — are byte-identical to
+        the sequential path's (deterministic RFC-6979 signing).
+
+        Update proofs may omit keys covered by the *carried slice*: the
+        verified partial-SMT state the enclave keeps from the previous
+        batch (valid only if its state root still matches).  ``evict_keys``
+        is the CI's untrusted cache-eviction hint, applied after the
+        batch; a wrong hint can only cause a missing-proof abort later.
+        """
+        if not items:
+            raise CertificateError("empty certification batch")
+        if blk_prev.header.height == 0:
+            if blk_prev.header.header_hash() != self._genesis_digest:
+                raise CertificateError("previous block is not the genesis block")
+        else:
+            if cert_prev is None:
+                raise CertificateError("non-genesis previous block needs a certificate")
+            self.cert_verify_t(block_digest(blk_prev.header), cert_prev)
+
+        # Anchor each index chain at the first item's previous root.
+        index_names = set(items[0].index_updates)
+        index_roots: dict[str, Digest] = {}
+        for name in sorted(index_names):
+            spec = self._spec(name)
+            prev_root = items[0].index_updates[name].prev_root
+            if blk_prev.header.height == 0:
+                if prev_root != spec.genesis_root():
+                    raise CertificateError(
+                        "previous index root is not the genesis root"
+                    )
+            else:
+                anchor = index_anchor_certs.get(name)
+                if anchor is None:
+                    raise CertificateError("previous index certificate missing")
+                self.cert_verify_t(index_digest(blk_prev.header, prev_root), anchor)
+            index_roots[name] = prev_root
+
+        # Resume the carried proof slice only if it still matches the
+        # chain tip we are anchored on; otherwise start fresh.
+        slice_ = self._carried_slice
+        if slice_ is not None and self._carried_root != blk_prev.header.state_root:
+            slice_ = None
+        # A failed batch can leave the local slice partially updated;
+        # never let that survive into a later call.
+        self._carried_slice = None
+
+        signatures: list[tuple[Signature, dict[str, Signature]]] = []
+        prev = blk_prev
+        for item in items:
+            block = item.block
+            write_set, slice_ = self._batch_blk_verify(
+                prev, block, item.update_proof, slice_
+            )
+            self._remember(block, write_set)
+            sig = sign(
+                self._keypair.private, block_digest(block.header), CERT_SIG_DOMAIN
+            )
+            if set(item.index_updates) != index_names:
+                raise CertificateError("index set changed mid-batch")
+            index_sigs: dict[str, Signature] = {}
+            for name in sorted(index_names):
+                update = item.index_updates[name]
+                if update.prev_root != index_roots[name]:
+                    raise CertificateError(
+                        "index update does not chain on the previous root"
+                    )
+                self._verify_index_update(
+                    self._spec(name),
+                    block,
+                    write_set,
+                    update.prev_root,
+                    update.new_root,
+                    update.proof,
+                )
+                index_roots[name] = update.new_root
+                index_sigs[name] = sign(
+                    self._keypair.private,
+                    index_digest(block.header, update.new_root),
+                    CERT_SIG_DOMAIN,
+                )
+            signatures.append((sig, index_sigs))
+            prev = block
+
+        # Apply the (untrusted) eviction hints and carry the slice into
+        # the next batch.
+        if slice_ is not None:
+            slice_.forget(evict_keys)
+            if len(slice_) == 0 or len(slice_) > _CARRIED_SLICE_CAP:
+                slice_ = None
+        self._carried_slice = slice_
+        self._carried_root = prev.header.state_root
+        return tuple(signatures)
+
+    def _batch_blk_verify(
+        self, blk_prev: Block, blk_new: Block, update_proof: UpdateProof, slice_
+    ):
+        """``blk_verify_t`` against the carried slice; returns
+        ``(write set, slice)`` with the slice advanced to the new root."""
+        prev_header, header = blk_prev.header, blk_new.header
+        if header.prev_hash != prev_header.header_hash():
+            raise CertificateError("H_{i-1} does not match the previous header")
+        if header.height != prev_header.height + 1:
+            raise CertificateError("block height is not prev + 1")
+        if not self._pow.check(header):
+            raise CertificateError("consensus proof invalid")
+        if not blk_new.check_tx_root():
+            raise CertificateError("H_tx does not commit to the transactions")
+        from repro.merkle.partial import PartialSMT
+
+        # Merge the shipped proofs (cache misses) into the slice; every
+        # proof verifies against the previous state root, and any
+        # disagreement with already-verified nodes raises.
+        for key, value, proof in update_proof.entries:
+            if slice_ is None:
+                slice_ = PartialSMT(proof.depth)
+            slice_.merge_entry(prev_header.state_root, key, value, proof)
+        backing = slice_ if slice_ is not None else _NO_STATE
+        result = self._executor.execute(
+            backing, list(blk_new.transactions), strict=True
+        )
+        if result.write_set:
+            if slice_ is None:
+                raise CertificateError("write set has no covering update proof")
+            slice_.update_batch(result.write_set)
+        new_root = slice_.root if slice_ is not None else prev_header.state_root
+        if new_root != header.state_root:
+            raise CertificateError("state root mismatch after replay")
+        return result.write_set, slice_
 
     def sig_gen_lazy(
         self,

@@ -29,6 +29,7 @@ from repro.chain.consensus import ProofOfWork
 from repro.chain.node import FullNode
 from repro.chain.state import StateStore
 from repro.chain.vm import VM
+from repro.core.batch import BatchItem, IndexUpdate
 from repro.core.certificate import Certificate
 from repro.core.digest import block_digest, index_digest
 from repro.core.enclave_program import DCertEnclaveProgram
@@ -36,6 +37,7 @@ from repro.core.updateproof import UpdateProof
 from repro.crypto import PublicKey
 from repro.crypto.hashing import Digest
 from repro.errors import CertificateError, ServiceUnavailableError
+from repro.merkle.proofcache import ProofCache
 from repro.query.indexes import (
     AccountHistoryIndexSpec,
     AggregateHistoryIndex,
@@ -92,6 +94,18 @@ class CertifiedTip:
     index_roots: dict[str, Digest]
 
 
+@dataclass(slots=True)
+class StagedBlock:
+    """A validated, proof-built block queued for batch certification."""
+
+    block: Block
+    prev_block: Block
+    item: BatchItem
+    write_set: dict[bytes, bytes | None]
+    new_index_roots: dict[str, Digest]
+    shipped_keys: frozenset[bytes]
+
+
 @dataclass(frozen=True, slots=True)
 class AttestationEvidence:
     """The CI's identity material, served to bootstrapping clients.
@@ -122,6 +136,7 @@ class CertificateIssuer:
         cost_model: SGXCostModel | None = None,
         key_seed: bytes | None = None,
         sealed_key: bytes | None = None,
+        proof_cache_entries: int = 0,
     ) -> None:
         self.node = FullNode(genesis, genesis_state, vm, pow_engine)
         self.ias = ias
@@ -150,6 +165,13 @@ class CertificateIssuer:
         self._aug_certs: dict[str, Certificate | None] = {name: None for name in specs}
         self.latest_certificate: Certificate | None = None
         self.certified: list[CertifiedBlock] = []
+        # Batched-path state: the CI-side LRU mirror of the enclave's
+        # carried proof slice, the key set the enclave is known to
+        # cover (reconciled at every batch boundary), and the staging
+        # queue of validated-but-uncertified blocks.
+        self.proof_cache = ProofCache(proof_cache_entries)
+        self._enclave_keys: set[bytes] = set()
+        self._staged: list[StagedBlock] = []
 
     # -- Alg. 1: gen_cert ------------------------------------------------------
 
@@ -224,6 +246,18 @@ class CertificateIssuer:
         for scheme in schemes:
             if scheme not in ("hierarchical", "augmented"):
                 raise CertificateError(f"unknown certification scheme {scheme!r}")
+        if self._staged:
+            raise CertificateError(
+                "staged blocks pending batch certification; call "
+                "certify_staged() before certifying sequentially"
+            )
+        # A sequential certification advances the chain without the
+        # enclave's carried slice following along, so the slice (and our
+        # mirror of it) is stale from here on.  The enclave discards it
+        # on the next batch's root check; drop the mirror now so we ship
+        # full proofs again rather than assume coverage that is gone.
+        self.proof_cache.clear()
+        self._enclave_keys.clear()
         with obs.trace_span("issuer.process_block"):
             return self._process_block(
                 block, schemes=schemes, precomputed=precomputed
@@ -330,6 +364,176 @@ class CertificateIssuer:
                 boundaries=obs.SIZE_BYTES_BUCKETS,
             )
 
+    # -- batched issuance ------------------------------------------------------
+
+    @property
+    def staged_count(self) -> int:
+        """Blocks staged and awaiting :meth:`certify_staged`."""
+        return len(self._staged)
+
+    def stage_block(self, block: Block) -> None:
+        """Untrusted preprocessing for the batched path (Alg. 1 lines
+        2-3, pipelined).
+
+        Validates ``block``, builds an update proof *pruned* to the
+        proof-cache misses (the enclave's carried slice already proves
+        the hits), ingests the index updates, and commits the block to
+        the untrusted node state — so the next block can stage against
+        it while the enclave is still certifying the previous batch.
+        Certificates are only issued by :meth:`certify_staged`.
+        """
+        with obs.trace_span("issuer.stage_block"):
+            result, update_proof = self.preprocess(block)
+            prev = self.node.tip
+            touched = sorted(result.touched_keys())
+            misses = [key for key in touched if not self.proof_cache.lookup(key)]
+            if len(misses) != len(touched):
+                # Reprove only the cache misses; hits ride the enclave's
+                # carried slice.
+                update_proof = UpdateProof.build(self.node.state, misses)
+            for key in misses:
+                self.proof_cache.admit(key)
+
+            index_updates: dict[str, IndexUpdate] = {}
+            new_roots: dict[str, Digest] = {}
+            for name, index in self.indexes.items():
+                prev_root = self._index_roots[name]
+                _writes, index_proof = index.ingest_block(block, result.write_set)
+                index_updates[name] = IndexUpdate(
+                    prev_root=prev_root, new_root=index.root, proof=index_proof
+                )
+                new_roots[name] = index.root
+                self._index_roots[name] = index.root
+
+            self._staged.append(
+                StagedBlock(
+                    block=block,
+                    prev_block=prev,
+                    item=BatchItem(
+                        block=block,
+                        update_proof=update_proof,
+                        index_updates=index_updates,
+                    ),
+                    write_set=result.write_set,
+                    new_index_roots=new_roots,
+                    shipped_keys=frozenset(misses),
+                )
+            )
+            self.node.state.apply_writes(result.write_set)
+            self.node.blocks.append(block)
+        if obs.enabled():
+            obs.inc("issuer.blocks_staged")
+            obs.observe(
+                "issuer.update_proof_bytes",
+                update_proof.size_bytes(),
+                boundaries=obs.SIZE_BYTES_BUCKETS,
+            )
+
+    def certify_staged(self) -> list[CertifiedBlock]:
+        """Certify every staged block in ONE ecall (the tentpole batch).
+
+        Compared with K sequential ``process_block`` calls this pays a
+        single enclave transition instead of ``K * (1 + #indexes)``,
+        verifies the anchor certificates once instead of per block, and
+        one paging charge over the batch's *peak* per-block working set
+        instead of one per ecall.  The certificates produced are
+        byte-identical to the sequential path's (RFC-6979 signing over
+        the same digests by the same key).
+        """
+        if not self._staged:
+            return []
+        staged = self._staged
+        self._staged = []
+        anchor = staged[0].prev_block
+        anchor_index_certs = dict(self._index_certs)
+        items = tuple(entry.item for entry in staged)
+        # Reconcile the enclave's slice with the LRU mirror: everything
+        # the enclave covers (or will after merging this batch's shipped
+        # proofs) that the mirror has since evicted must be forgotten.
+        merged = set().union(*(entry.shipped_keys for entry in staged))
+        mirror = self.proof_cache.keys()
+        evict = tuple(sorted((self._enclave_keys | merged) - mirror))
+        peak_payload = max(item.payload_bytes() for item in items)
+        try:
+            with obs.trace_span("issuer.certify_staged"):
+                signatures = self.enclave.ecall(
+                    "sig_gen_batch",
+                    anchor,
+                    self.latest_certificate,
+                    anchor_index_certs,
+                    items,
+                    evict,
+                    payload_bytes=peak_payload,
+                )
+        except Exception:
+            # The enclave discarded its carried slice; drop the mirror
+            # so the next batch ships full proofs again.
+            self.proof_cache.clear()
+            self._enclave_keys.clear()
+            raise
+        self._enclave_keys = mirror
+
+        results: list[CertifiedBlock] = []
+        for entry, (sig, index_sigs) in zip(staged, signatures):
+            block = entry.block
+            certificate = Certificate(
+                pk_enc=self.pk_enc,
+                report=self.report,
+                dig=block_digest(block.header),
+                sig=sig,
+            )
+            certified = CertifiedBlock(block=block, certificate=certificate)
+            for name, index_sig in index_sigs.items():
+                new_root = entry.new_index_roots[name]
+                cert = Certificate(
+                    pk_enc=self.pk_enc,
+                    report=self.report,
+                    dig=index_digest(block.header, new_root),
+                    sig=index_sig,
+                )
+                self._index_certs[name] = cert
+                certified.index_certificates[name] = cert
+                certified.index_roots[name] = new_root
+                self._record_index_cert_metrics(entry.item.index_updates[name].proof)
+            self.latest_certificate = certificate
+            self.certified.append(certified)
+            results.append(certified)
+
+        if obs.enabled():
+            batch = len(staged)
+            saved = batch * (1 + len(self.indexes)) - 1
+            obs.inc("issuer.certs_issued", batch)
+            obs.inc("issuer.batches")
+            obs.inc("issuer.batch_blocks", batch)
+            obs.inc("issuer.batch_transitions_saved", saved)
+            stats = self.proof_cache.stats()
+            obs.set_gauge("issuer.proof_cache_hits", stats["hits"])
+            obs.set_gauge("issuer.proof_cache_misses", stats["misses"])
+            obs.set_gauge("issuer.proof_cache_hit_rate", stats["hit_rate"])
+            obs.set_gauge("issuer.proof_cache_entries", stats["entries"])
+            obs.observe("issuer.batch_size_blocks", batch)
+            obs.observe(
+                "issuer.batch_peak_payload_bytes",
+                peak_payload,
+                boundaries=obs.SIZE_BYTES_BUCKETS,
+            )
+        return results
+
+    def issue_batch(self, blocks: list[Block]) -> list[CertifiedBlock]:
+        """Stage ``blocks`` then certify them in one batch ecall.
+
+        If a block fails validation partway through, the already-staged
+        (valid, committed) prefix is still certified before the error
+        propagates, so the issuer is never left with a pending queue.
+        """
+        try:
+            for block in blocks:
+                self.stage_block(block)
+        except Exception:
+            self.certify_staged()
+            raise
+        return self.certify_staged()
+
     # -- conveniences ----------------------------------------------------------
 
     def seal_signing_key(self) -> bytes:
@@ -358,7 +562,10 @@ class IssuerService:
       block certificate, index certificates and roots);
     * ``tip_at`` — the certified tip at a given height, for clients
       catching up or auditing;
-    * ``evidence`` — the CI's :class:`AttestationEvidence`.
+    * ``evidence`` — the CI's :class:`AttestationEvidence`;
+    * ``certify_range`` — submit a run of consecutive blocks for
+      batched certification (one enclave ecall for the whole run);
+      returns the resulting :class:`CertifiedTip` per block.
 
     Raises :class:`~repro.errors.ServiceUnavailableError` (propagated
     to the caller through the RPC error channel) while the CI has not
@@ -373,6 +580,7 @@ class IssuerService:
         self.server.register("latest_tip", self._latest_tip)
         self.server.register("tip_at", self._tip_at)
         self.server.register("evidence", self._evidence)
+        self.server.register("certify_range", self._certify_range)
 
     def _certified_tip(self, certified: CertifiedBlock) -> CertifiedTip:
         if certified.certificate is None:
@@ -397,6 +605,14 @@ class IssuerService:
             if certified.block.header.height == height:
                 return self._certified_tip(certified)
         raise ServiceUnavailableError(f"no certified block at height {height!r}")
+
+    def _certify_range(self, blocks: object) -> tuple[CertifiedTip, ...]:
+        if not isinstance(blocks, (list, tuple)) or not blocks:
+            raise CertificateError("certify_range takes a non-empty block list")
+        if not all(isinstance(block, Block) for block in blocks):
+            raise CertificateError("certify_range takes Block objects")
+        certified = self.issuer.issue_batch(list(blocks))
+        return tuple(self._certified_tip(entry) for entry in certified)
 
     def _evidence(self, _argument: object) -> AttestationEvidence:
         return AttestationEvidence(

@@ -1,0 +1,105 @@
+"""Pipelined batch certification: staging overlaps enclave work.
+
+The batched issuance path has two halves with disjoint resources:
+
+* **staging** (:meth:`CertificateIssuer.stage_block`) is untrusted
+  host-side work — validate the block, build the pruned update proof,
+  ingest index updates;
+* **certification** (:meth:`CertificateIssuer.certify_staged`) is one
+  enclave ecall over the whole staged run.
+
+Because staging block ``i+1`` needs only the untrusted node state
+(which staging itself advances), it does not have to wait for the
+enclave to finish certifying batch ``i`` — a two-core CI overlaps
+them.  This simulation is single-threaded, so the pipeline *models*
+the overlap instead of running it: it measures both halves and
+accounts ``min(previous certify time, this batch's staging time)`` as
+saved latency.  :meth:`PipelineStats.pipelined_latency_s` is therefore
+the modeled two-core latency; the measured wall clock is the honest
+single-threaded figure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.chain.block import Block
+from repro.core.issuer import CertificateIssuer, CertifiedBlock
+
+
+@dataclass(slots=True)
+class PipelineStats:
+    """Measured + modeled timing of a :class:`CertificationPipeline`."""
+
+    blocks: int = 0
+    batches: int = 0
+    stage_s: float = 0.0
+    certify_s: float = 0.0
+    #: Latency a two-core CI would hide by staging the next batch while
+    #: the enclave certifies the previous one (modeled, see module doc).
+    overlap_saved_s: float = 0.0
+
+    def pipelined_latency_s(self) -> float:
+        """Modeled end-to-end latency with staging/certify overlapped."""
+        return self.stage_s + self.certify_s - self.overlap_saved_s
+
+
+class CertificationPipeline:
+    """Feed blocks one at a time; certification happens in batches.
+
+    ``submit`` stages a block and — once ``batch_size`` blocks are
+    queued (and ``auto_flush`` is on) — certifies the whole run in one
+    ecall, returning the new :class:`CertifiedBlock` objects (empty
+    list while the batch is still filling).  ``flush`` forces a partial
+    batch out; always call it (or ``close``) after the last submit.
+    """
+
+    def __init__(
+        self,
+        issuer: CertificateIssuer,
+        *,
+        batch_size: int = 8,
+        auto_flush: bool = True,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        self.issuer = issuer
+        self.batch_size = batch_size
+        self.auto_flush = auto_flush
+        self.stats = PipelineStats()
+        self._prev_certify_s = 0.0
+        self._pending_stage_s = 0.0
+
+    def submit(self, block: Block) -> list[CertifiedBlock]:
+        start = time.perf_counter()
+        self.issuer.stage_block(block)
+        elapsed = time.perf_counter() - start
+        self.stats.blocks += 1
+        self.stats.stage_s += elapsed
+        self._pending_stage_s += elapsed
+        if self.auto_flush and self.issuer.staged_count >= self.batch_size:
+            return self.flush()
+        return []
+
+    def flush(self) -> list[CertifiedBlock]:
+        """Certify whatever is staged (no-op on an empty queue)."""
+        if self.issuer.staged_count == 0:
+            return []
+        # This batch staged while the enclave was (modeled) busy with
+        # the previous one; the shorter of the two is hidden latency.
+        self.stats.overlap_saved_s += min(
+            self._prev_certify_s, self._pending_stage_s
+        )
+        start = time.perf_counter()
+        certified = self.issuer.certify_staged()
+        elapsed = time.perf_counter() - start
+        self.stats.batches += 1
+        self.stats.certify_s += elapsed
+        self._prev_certify_s = elapsed
+        self._pending_stage_s = 0.0
+        return certified
+
+    def close(self) -> list[CertifiedBlock]:
+        """Flush the final partial batch."""
+        return self.flush()

@@ -52,8 +52,12 @@ class SuperlightClient:
         self.latest_header: BlockHeader | None = None
         self.latest_certificate: Certificate | None = None
         # "A superlight client needs to check an attestation report only
-        # once for the same enclave" (§4.3): cache verified reports.
-        self._verified_reports: set[bytes] = set()
+        # once for the same enclave" (§4.3): cache verified reports.  The
+        # cache key must bind every field the skipped checks would have
+        # validated (measurement, report_data, IAS key, signature) — a
+        # signature-only key would let a report with a tampered
+        # measurement but a replayed signature ride the cache.
+        self._verified_reports: set[tuple[bytes, ...]] = set()
         # Latest certified root per authenticated index, plus the
         # certificate vouching for it — the client must *hold* the
         # index certificates (they are part of its durable state and
@@ -269,7 +273,12 @@ class SuperlightClient:
     # -- internals -------------------------------------------------------------------
 
     def _check_certificate(self, cert: Certificate, expected_dig: Digest) -> None:
-        report_id = cert.report.signature.to_bytes()
+        report_id = (
+            cert.report.measurement,
+            cert.report.report_data,
+            cert.report.ias_key.to_bytes(),
+            cert.report.signature.to_bytes(),
+        )
         if report_id not in self._verified_reports:
             if not cert.report.verify(self.ias_public_key):
                 raise CertificateError("attestation report not signed by the IAS")

@@ -42,6 +42,7 @@ from repro.merkle.mht import MembershipProof, MerkleTree, verify_membership
 from repro.merkle.mmr import MerkleMountainRange, MMRProof, verify_mmr
 from repro.merkle.mpt import MerklePatriciaTrie, MPTProof, verify_mpt
 from repro.merkle.partial import PartialSMT
+from repro.merkle.proofcache import ProofCache
 from repro.merkle.skiplist import (
     AuthenticatedSkipList,
     SkipRangeProof,
@@ -65,6 +66,7 @@ __all__ = [
     "MerklePatriciaTrie",
     "MerkleTree",
     "PartialSMT",
+    "ProofCache",
     "SMTProof",
     "SkipRangeProof",
     "SparseMerkleTree",

@@ -59,9 +59,50 @@ class PartialSMT:
             partial._merge_entry(root, key, value, proof)
         return partial
 
+    def __len__(self) -> int:
+        return len(self._values)
+
     def covers(self, key: bytes) -> bool:
         """True when ``key`` was proven and can be read or written."""
         return key in self._values
+
+    def covered_keys(self) -> set[bytes]:
+        """The keys currently proven (readable/writable) in this slice."""
+        return set(self._values)
+
+    def forget(self, keys) -> None:
+        """Evict entries from the slice and prune unneeded node digests.
+
+        This is how a bounded proof cache stays bounded: evicted keys
+        must be re-proven before they can be read or written again, and
+        every internal digest that no remaining entry's path (or path
+        sibling) touches is dropped.  Forgetting a key the slice does
+        not hold is a no-op, so untrusted eviction hints are safe to
+        apply verbatim.
+        """
+        dropped = False
+        for key in keys:
+            if key in self._values:
+                del self._values[key]
+                dropped = True
+        if not dropped:
+            return
+        if not self._values:
+            self._nodes.clear()
+            return
+        keep: set[tuple[int, int]] = {(self.depth, 0)}
+        for key in self._values:
+            prefix = key_path(key, self.depth)
+            for level in range(self.depth):
+                keep.add((level, prefix))
+                keep.add((level, prefix ^ 1))
+                prefix >>= 1
+                keep.add((level + 1, prefix))
+        self._nodes = {
+            position: digest
+            for position, digest in self._nodes.items()
+            if position in keep
+        }
 
     def merge_entry(
         self, root: Digest, key: bytes, value: bytes | None, proof: "SMTProof"

@@ -1,0 +1,95 @@
+"""Bounded LRU proof cache for batched certification.
+
+Consecutive blocks touch overlapping state: a hot contract cell read by
+block ``i`` is very likely read (or written) again by block ``i+1``.
+In the batched issuance path the enclave *carries* its verified
+:class:`~repro.merkle.partial.PartialSMT` slice from block to block
+(see ``DCertEnclaveProgram.sig_gen_batch``), so the CI only needs to
+ship an SMT proof for keys the enclave does **not** already cover.
+
+:class:`ProofCache` is the CI-side mirror of that carried slice: a
+bounded LRU over state keys.  The CI consults it while staging a block
+(``lookup``), ships proofs only for misses (``admit``), and at every
+batch boundary tells the enclave which keys fell out of the LRU so the
+enclave's slice stays in lock-step (``repro.core.issuer`` computes the
+eviction set from :meth:`keys`).
+
+The cache is pure *performance* state and entirely untrusted: the
+enclave verifies every shipped proof and fails loudly on any read of a
+key outside its slice, so a CI whose mirror drifts (or lies) can only
+abort its own certification, never forge one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class ProofCache:
+    """Bounded LRU over state keys whose proof material is retained.
+
+    ``capacity == 0`` disables the cache (every lookup is a miss and
+    nothing is admitted), which degenerates to shipping full update
+    proofs — the sequential path's behaviour.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("proof cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[bytes, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: bytes) -> bool:
+        """True when ``key``'s proof material is retained (refreshes
+        its recency); records the hit/miss either way."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def admit(self, key: bytes) -> None:
+        """Retain ``key``, evicting least-recently-used keys beyond
+        capacity.  Evicted keys simply drop out of :meth:`keys`; the
+        caller reconciles the enclave side at the next batch boundary."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = None
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def keys(self) -> set[bytes]:
+        """The currently retained keys (the mirror of the enclave slice)."""
+        return set(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (e.g. after an interleaved sequential
+        certification invalidated the enclave's carried slice)."""
+        self._entries.clear()
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Wire/JSON-safe counters for metrics snapshots."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate(),
+        }

@@ -79,24 +79,48 @@ class CostLedger:
             peak_epc_bytes=self.peak_epc_bytes,
         )
 
+    def delta(self, before: "CostLedger") -> "CostLedger":
+        """Charges accumulated since ``before`` (an earlier snapshot).
 
-_MODEL_ENABLED = True
+        ``peak_epc_bytes`` is a high-water mark, not a sum, so the delta
+        carries the current peak unchanged.
+        """
+        return CostLedger(
+            ecalls=self.ecalls - before.ecalls,
+            ocalls=self.ocalls - before.ocalls,
+            transition_s=self.transition_s - before.transition_s,
+            slowdown_s=self.slowdown_s - before.slowdown_s,
+            paging_s=self.paging_s - before.paging_s,
+            in_enclave_s=self.in_enclave_s - before.in_enclave_s,
+            peak_epc_bytes=self.peak_epc_bytes,
+        )
+
+
+# Depth counter, not a saved boolean: nested ``cost_model_disabled()``
+# contexts can exit out of LIFO order (pytest fixtures and generators
+# interleave teardown freely).  A save/restore boolean then either
+# re-enables charging while an inner context is still active, or leaves
+# the model disabled forever — after which every ecall records *zeroed*
+# charges into ledgers that callers believe are live ("leaked" zero
+# charges that silently dilute snapshot deltas).  With a depth counter,
+# the model is enabled exactly when no context is active, whatever the
+# exit order.
+_DISABLED_DEPTH = 0
 
 
 def model_enabled() -> bool:
-    return _MODEL_ENABLED
+    return _DISABLED_DEPTH == 0
 
 
 @contextmanager
 def cost_model_disabled() -> Iterator[None]:
     """Turn off all charging (unit tests that only care about logic)."""
-    global _MODEL_ENABLED
-    previous = _MODEL_ENABLED
-    _MODEL_ENABLED = False
+    global _DISABLED_DEPTH
+    _DISABLED_DEPTH += 1
     try:
         yield
     finally:
-        _MODEL_ENABLED = previous
+        _DISABLED_DEPTH -= 1
 
 
 def spend(seconds: float) -> None:

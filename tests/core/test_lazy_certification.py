@@ -84,6 +84,72 @@ def test_lazy_rejects_lying_proof_service(world):
         gen_cert_lazy(issuer, builder.blocks[1])
 
 
+def test_lazy_rejects_stale_proofs(world):
+    """A host replaying proofs captured before an earlier block's commit
+    (i.e. against a stale state root) must be caught: the enclave
+    verifies every fetched proof against blk_prev's state root, and a
+    pre-commit proof no longer matches it."""
+    builder, issuer = world
+    state = issuer.node.state
+    stale: dict[bytes, tuple] = {}
+    real = lambda key: (state.get_raw(key), state.prove(key))  # noqa: E731
+
+    def capturing(key: bytes):
+        response = real(key)
+        stale[key] = response
+        return response
+
+    issuer.enclave.register_ocall("fetch_state_proof", capturing)
+    gen_cert_lazy(issuer, builder.blocks[1])  # captures pre-commit proofs
+    issuer.process_block(builder.blocks[1])
+
+    def replaying(key: bytes):
+        # Cell "a" is touched by both blocks: its captured proof is now
+        # stale.  Fresh cells fall through to the live state.
+        return stale.get(key) or real(key)
+
+    issuer.enclave.register_ocall("fetch_state_proof", replaying)
+    assert any(key in stale for key in _touched(issuer, builder.blocks[2]))
+    with pytest.raises(ProofError):
+        gen_cert_lazy(issuer, builder.blocks[2])
+
+
+def _touched(issuer, block):
+    result = issuer.node.executor.execute(
+        issuer.node.state, list(block.transactions)
+    )
+    return result.touched_keys()
+
+
+def test_lazy_rejects_proof_for_wrong_key(world):
+    """A response carrying another cell's (valid!) proof must fail the
+    requested key's verification."""
+    builder, issuer = world
+    state = issuer.node.state
+
+    def misdirecting(key: bytes):
+        other = bytes(32) if key != bytes(32) else bytes([1]) * 32
+        return state.get_raw(other), state.prove(other)
+
+    issuer.enclave.register_ocall("fetch_state_proof", misdirecting)
+    with pytest.raises(ProofError):
+        gen_cert_lazy(issuer, builder.blocks[1])
+
+
+def test_lazy_ocall_accounting_per_block(world):
+    """Bookkeeping: one Ocall per distinct touched cell, per block, and
+    exactly one Ecall per lazy certification — recorded even with the
+    cost model disabled (the autouse test fixture disables charging)."""
+    builder, issuer = world
+    ledger = issuer.enclave.ledger
+    for block, cells in ((builder.blocks[1], 2), (builder.blocks[2], 2)):
+        ocalls, ecalls = ledger.ocalls, ledger.ecalls
+        gen_cert_lazy(issuer, block)
+        assert ledger.ocalls - ocalls == cells
+        assert ledger.ecalls - ecalls == 1
+        issuer.process_block(block)
+
+
 def test_lazy_chains_across_blocks(world):
     builder, issuer = world
     first = gen_cert_lazy(issuer, builder.blocks[1])

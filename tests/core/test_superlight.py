@@ -53,6 +53,30 @@ def test_report_checked_once_per_enclave(client, certified_setup):
     assert len(client._verified_reports) == 1
 
 
+def test_report_cache_binds_full_report_content(client, certified_setup):
+    """Regression (found by tests/proptest): the verified-report cache
+    must key on every attested field, not the signature alone.  A
+    certificate whose report replays a previously verified signature
+    but carries a tampered measurement must not ride the cache past the
+    measurement check."""
+    from dataclasses import replace
+
+    tip = certified_setup["issuer"].certified[-1]
+    assert client.validate_chain(tip.block.header, tip.certificate)
+
+    index_cert = tip.index_certificates["history"]
+    bad_measurement = bytes([index_cert.report.measurement[0] ^ 0x01]) + (
+        index_cert.report.measurement[1:]
+    )
+    forged = replace(
+        index_cert, report=replace(index_cert.report, measurement=bad_measurement)
+    )
+    with pytest.raises(CertificateError):
+        client.validate_index_certificate(
+            "history", tip.block.header, tip.index_roots["history"], forged
+        )
+
+
 def test_index_certificate_adoption(client, certified_setup):
     certified = certified_setup["issuer"].certified
     old, new = certified[-2], certified[-1]

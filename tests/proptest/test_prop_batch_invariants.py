@@ -1,0 +1,128 @@
+"""Batch-issuance invariants over random chains, splits, and caches.
+
+The differential suite (tests/core/test_batch_differential.py) pins a
+handful of chosen chains and batch splits; these properties draw them
+at random: for *any* seeded chain, *any* random partition of it into
+batches, and *any* proof-cache capacity (including 0 = disabled), the
+batched path must produce byte-identical certificates to the
+sequential path.  The chain length is the property's *size*, so a
+failure shrinks by replaying the same case seed at shorter chains
+(see run_sized_cases) and reports the minimal failing length.
+
+Also here: the Merkle-proof leg of the forgery properties — a single
+byte flipped anywhere in an SMT proof's wire encoding must make
+verification fail against the original root.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import sha256
+from repro.errors import ReproError
+from repro.net import wire
+from repro.merkle.smt import SparseMerkleTree, verify_proof
+from tests.core.test_batch_differential import (
+    assert_identical,
+    make_issuer,
+    random_chain,
+)
+from tests.proptest.framework import mutate_one_byte, run_cases, run_sized_cases
+
+
+def test_random_batch_splits_match_sequential():
+    """Any random batch partition + cache capacity == sequential."""
+
+    def prop(rng, size):
+        chain_seed = rng.randrange(2**32)
+        builder = random_chain(chain_seed, blocks=size, difficulty_bits=1)
+        blocks = builder.blocks[1:]
+
+        sequential = make_issuer(builder, chain_seed)
+        for block in blocks:
+            sequential.process_block(block)
+
+        cache = rng.choice((0, 2, 8, 64))
+        batched = make_issuer(builder, chain_seed, cache=cache)
+        cursor = 0
+        while cursor < len(blocks):
+            take = rng.randint(1, len(blocks) - cursor)
+            batched.issue_batch(blocks[cursor:cursor + take])
+            cursor += take
+
+        assert_identical(sequential, batched)
+
+    run_sized_cases(prop, min_size=2, max_size=8)
+
+
+def test_interleaved_sequential_and_batched_match():
+    """Randomly interleaving process_block with issue_batch still ends
+    in the same client-visible state (the enclave must re-anchor and
+    drop its carried slice whenever the sequential path intervenes)."""
+
+    def prop(rng, size):
+        chain_seed = rng.randrange(2**32)
+        builder = random_chain(chain_seed, blocks=size, difficulty_bits=1)
+        blocks = builder.blocks[1:]
+
+        sequential = make_issuer(builder, chain_seed)
+        for block in blocks:
+            sequential.process_block(block)
+
+        mixed = make_issuer(builder, chain_seed, cache=16)
+        cursor = 0
+        while cursor < len(blocks):
+            take = rng.randint(1, len(blocks) - cursor)
+            if rng.random() < 0.5:
+                for block in blocks[cursor:cursor + take]:
+                    mixed.process_block(block)
+            else:
+                mixed.issue_batch(blocks[cursor:cursor + take])
+            cursor += take
+
+        assert_identical(sequential, mixed)
+
+    run_sized_cases(prop, min_size=2, max_size=8, cases=10)
+
+
+def _proof_fixture():
+    tree = SparseMerkleTree(depth=32)
+    items = {sha256(f"key{i}".encode()): f"value{i}".encode() for i in range(8)}
+    for key, value in items.items():
+        tree.update(key, value)
+    key = sha256(b"key3")
+    return tree.root, key, items[key], tree.prove(key)
+
+
+def test_smt_proof_single_byte_mutations_rejected():
+    root, key, value, proof = _proof_fixture()
+    encoded = wire.encode(proof)
+
+    def prop(rng):
+        mutated = mutate_one_byte(encoded, rng)
+        try:
+            corrupted = wire.decode(mutated)
+        except ReproError:
+            return  # rejected at the parse boundary
+        if corrupted == proof:
+            return  # same meaning, not a forgery
+        try:
+            accepted = verify_proof(root, key, value, corrupted)
+        except (ReproError, AttributeError, TypeError, IndexError):
+            return  # malformed proof structure detected
+        assert not accepted, "mutated SMT proof verified against the root"
+
+    run_cases(prop)
+
+
+def test_smt_proof_wrong_value_rejected():
+    """The same proof must not vouch for any other value (or for
+    non-membership) under the same root."""
+    root, key, value, proof = _proof_fixture()
+
+    def prop(rng):
+        wrong = bytes(rng.randrange(256) for _ in range(rng.randint(0, 8)))
+        if wrong == value:
+            return
+        assert not verify_proof(root, key, wrong, proof)
+        assert not verify_proof(root, key, None, proof)
+
+    run_cases(prop)

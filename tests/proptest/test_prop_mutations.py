@@ -1,0 +1,163 @@
+"""Forgery properties: any single-byte mutation is rejected.
+
+For every certified artifact a client consumes — the certificate, the
+block header it vouches for, and a verifiable query answer with its
+Merkle proofs — flipping any single byte of the wire encoding must
+lead to rejection: either the mutated bytes no longer decode, or the
+client's verification entry points (``validate_chain`` /
+``validate_index_certificate`` / ``verify_answer``) refuse the result.
+
+A mutation may decode back to an object equal to the original (e.g. a
+flip inside the hex alphabet's case bits); such mutations carry the
+same meaning and are treated as a pass, not a forgery.
+
+Seeds and replay: see tests/proptest/framework.py; failures print a
+one-case replay command.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.certificate import Certificate
+from repro.core.superlight import SuperlightClient
+from repro.errors import ReproError
+from repro.net import wire
+from repro.query.api import HistoryQuery, QueryAnswer
+from tests.proptest.framework import mutate_one_byte, run_cases
+
+
+@pytest.fixture(scope="module")
+def world(certified_setup):
+    issuer = certified_setup["issuer"]
+    tip = issuer.certified[-1]
+    client = SuperlightClient(
+        issuer.measurement, certified_setup["ias"].public_key
+    )
+    assert client.validate_chain(tip.block.header, tip.certificate)
+    client.validate_index_certificate(
+        "history", tip.block.header,
+        tip.index_roots["history"], tip.index_certificates["history"],
+    )
+    height = tip.block.header.height
+    request = HistoryQuery(index="history", account="k1", t_from=1, t_to=height)
+    answer = issuer.indexes["history"].query_history("k1", 1, height)
+    assert client.verify_answer(
+        request, QueryAnswer(request=request, payload=answer)
+    )
+    return {
+        "issuer": issuer,
+        "tip": tip,
+        "client": client,
+        "request": request,
+        "answer": answer,
+    }
+
+
+def _fresh_client(world) -> SuperlightClient:
+    # Never reuse the fixture client for rejection checks: a mutated
+    # certificate must not poison its report cache or adopted state.
+    return SuperlightClient(
+        world["client"].expected_measurement, world["client"].ias_public_key
+    )
+
+
+def test_certificate_single_byte_mutations_rejected(world):
+    original = world["tip"].certificate
+    encoded = original.encode()
+
+    def prop(rng):
+        mutated = mutate_one_byte(encoded, rng)
+        try:
+            corrupted = Certificate.decode(mutated)
+        except ReproError:
+            return  # no longer decodes: rejected at the parse boundary
+        if corrupted == original:
+            return  # same meaning, not a forgery
+        try:
+            accepted = _fresh_client(world).validate_chain(
+                world["tip"].block.header, corrupted
+            )
+        except ReproError:
+            return
+        assert not accepted, "mutated certificate accepted"
+
+    run_cases(prop)
+
+
+def test_header_single_byte_mutations_rejected(world):
+    header = world["tip"].block.header
+    encoded = wire.encode(header)
+
+    def prop(rng):
+        mutated = mutate_one_byte(encoded, rng)
+        try:
+            corrupted = wire.decode(mutated)
+        except ReproError:
+            return
+        if corrupted == header:
+            return
+        try:
+            accepted = _fresh_client(world).validate_chain(
+                corrupted, world["tip"].certificate
+            )
+        except (ReproError, AttributeError, TypeError):
+            # Not even header-shaped any more, or verifiably wrong.
+            return
+        assert not accepted, "certificate accepted a mutated header"
+
+    run_cases(prop)
+
+
+def test_index_certificate_single_byte_mutations_rejected(world):
+    tip = world["tip"]
+    original = tip.index_certificates["history"]
+    encoded = original.encode()
+
+    def prop(rng):
+        mutated = mutate_one_byte(encoded, rng)
+        try:
+            corrupted = Certificate.decode(mutated)
+        except ReproError:
+            return
+        if corrupted == original:
+            return
+        client = _fresh_client(world)
+        client.validate_chain(tip.block.header, tip.certificate)
+        try:
+            accepted = client.validate_index_certificate(
+                "history", tip.block.header,
+                tip.index_roots["history"], corrupted,
+            )
+        except ReproError:
+            return
+        assert not accepted, "mutated index certificate accepted"
+
+    run_cases(prop)
+
+
+def test_query_answer_single_byte_mutations_rejected(world):
+    """Covers the Merkle proofs: the answer payload embeds the MPT and
+    MB-tree proofs, so byte flips land in proof material most of the
+    time and must fail root verification."""
+    request, answer = world["request"], world["answer"]
+    encoded = wire.encode(answer)
+    client = world["client"]  # read-only verification, safe to share
+
+    def prop(rng):
+        mutated = mutate_one_byte(encoded, rng)
+        try:
+            corrupted = wire.decode(mutated)
+        except ReproError:
+            return
+        if corrupted == answer:
+            return
+        try:
+            accepted = client.verify_answer(
+                request, QueryAnswer(request=request, payload=corrupted)
+            )
+        except (ReproError, AttributeError, TypeError):
+            return
+        assert not accepted, "mutated query answer verified"
+
+    run_cases(prop)

@@ -101,13 +101,13 @@ def test_cost_ledger_accounting():
     # Escape the autouse disable for this one check.
     import repro.sgx.costs as costs
 
-    previous = costs._MODEL_ENABLED
-    costs._MODEL_ENABLED = True
+    previous = costs._DISABLED_DEPTH
+    costs._DISABLED_DEPTH = 0
     try:
         host.ecall("echo", 1, payload_bytes=1000)
         host.ecall("echo", 2, payload_bytes=500)
     finally:
-        costs._MODEL_ENABLED = previous
+        costs._DISABLED_DEPTH = previous
     assert host.ledger.ecalls == 2
     assert host.ledger.transition_s == pytest.approx(2 * model.ecall_transition_s)
     assert host.ledger.peak_epc_bytes == 1000
@@ -166,12 +166,12 @@ def test_ocall_costs_counted():
     model = SGXCostModel(spend_time=False)
     host = EnclaveHost(OcallProgram(), SGXPlatform(seed=b"ocall4"), cost_model=model)
     host.register_ocall("lookup", lambda key: key)
-    previous = costs._MODEL_ENABLED
-    costs._MODEL_ENABLED = True
+    previous = costs._DISABLED_DEPTH
+    costs._DISABLED_DEPTH = 0
     try:
         host.ecall("fetch_twice", 1)
     finally:
-        costs._MODEL_ENABLED = previous
+        costs._DISABLED_DEPTH = previous
     assert host.ledger.ocalls == 2
     assert host.ledger.transition_s == pytest.approx(
         model.ecall_transition_s + 2 * model.ocall_transition_s
