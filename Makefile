@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench lint selftest check metrics proptest
+.PHONY: test bench lint selftest check metrics proptest chaos
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -12,7 +12,17 @@ test:
 proptest:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/proptest -q
 
-check: lint test
+# Crash-injection sweep (tests/fault): crash the certification workload
+# at every cataloged crashpoint, recover from the WAL + sealed
+# checkpoint, and require byte-identical certificates.  Deterministic by
+# default; REPRO_CHAOS_CASES=n adds randomized (point, hit, seed) cases,
+# REPRO_CHAOS_SEED=n explores a different stream, and
+# REPRO_CHAOS_REPLAY=point:hit:seed reruns exactly one case (failures
+# print the replay command).
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/fault -q
+
+check: lint test chaos
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

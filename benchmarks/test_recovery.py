@@ -1,0 +1,161 @@
+"""Crash recovery — restart cost vs chain length, with and without
+checkpoints.
+
+An issuer that only has the WAL must replay every archived block
+through the enclave on restart: O(chain) ecalls and modeled enclave
+time.  With sealed checkpoints the enclave work is the checkpoint
+unseal plus the WAL *tail* past it — O(gap), independent of how long
+the chain is.  The sweep below grows chains of increasing length with
+a fixed checkpoint interval (so the tail gap is constant across
+lengths), restarts each, and records the recovery ecall count and wall
+time both ways.
+
+Reproduced claims:
+
+* checkpointed recovery performs an identical number of ecalls at
+  every chain length (flat in history, linear only in the gap);
+* full-replay recovery ecalls grow linearly with chain length;
+* both restarts converge to the same state (tip, state root, pk_enc).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.bench.harness import fresh_vm
+from repro.bench.reporting import bench_record, print_table
+from repro.bench.workloadgen import WorkloadGenerator
+from repro.chain.builder import ChainBuilder
+from repro.chain.genesis import make_genesis
+from repro.core.recovery import DurableIssuer, recover_issuer
+from repro.query.indexes import AccountHistoryIndexSpec
+from repro.sgx.attestation import AttestationService
+from repro.sgx.platform import SGXPlatform
+from repro.storage import ChainArchive
+
+#: Checkpoint every N blocks; chain lengths share a residue of 2 mod
+#: _INTERVAL so every restart replays exactly a 2-block tail.
+_INTERVAL = 4
+_LENGTHS = (6, 10, 14)
+_BLOCK_SIZE = 2
+_NETWORK = "recovery-bench"
+
+
+def _build_archive(params, length: int, tmp_path):
+    """Mine ``length`` KV blocks and certify them durably."""
+    generator = WorkloadGenerator(params, seed=7)
+    builder = ChainBuilder(
+        difficulty_bits=params.difficulty_bits,
+        state_depth=params.state_depth,
+        network=_NETWORK,
+    )
+    genesis, state = make_genesis(
+        network=_NETWORK, state_depth=params.state_depth
+    )
+    platform = SGXPlatform(seed=b"recovery-bench-platform")
+    ias = AttestationService(seed=b"recovery-bench-ias")
+    archive = ChainArchive(tmp_path / f"len{length}.wal")
+    durable = DurableIssuer.create(
+        archive, genesis, state, fresh_vm(), builder.pow,
+        index_specs=[AccountHistoryIndexSpec(name="history")],
+        platform=platform, ias=ias, key_seed=b"recovery-bench-enclave",
+        checkpoint_interval=_INTERVAL,
+    )
+    for _ in range(length):
+        block, _ = builder.add_block(generator.block_txs("KV", _BLOCK_SIZE))
+        durable.process_block(block)
+    return durable, builder, platform, ias
+
+
+def _restart(params, durable, builder, platform, ias):
+    genesis, state = make_genesis(
+        network=_NETWORK, state_depth=params.state_depth
+    )
+    started = time.perf_counter()
+    recovered = recover_issuer(
+        durable.archive, genesis, state, fresh_vm(), builder.pow,
+        index_specs=[AccountHistoryIndexSpec(name="history")],
+        platform=platform, ias=ias, checkpoint_interval=_INTERVAL,
+    )
+    elapsed_s = time.perf_counter() - started
+    ledger = recovered.enclave.ledger
+    return recovered, elapsed_s, ledger.ecalls, recovered.last_recovery
+
+
+def test_recovery_cost_vs_chain_length(params, tmp_path):
+    rows = []
+    record = {}
+    ckpt_ecalls = {}
+    full_ecalls = {}
+    with obs.observability():
+        obs.registry().reset()
+        for length in _LENGTHS:
+            durable, builder, platform, ias = _build_archive(
+                params, length, tmp_path
+            )
+
+            recovered, ckpt_s, n_ckpt, report = _restart(
+                params, durable, builder, platform, ias
+            )
+            assert report.checkpoint_used
+            assert report.replayed_blocks == length % _INTERVAL
+            assert recovered.node.height == length
+            assert recovered.node.state.root == durable.node.state.root
+            assert recovered.pk_enc == durable.pk_enc
+            ckpt_ecalls[length] = n_ckpt
+
+            # Same archive, checkpoint sidecar gone: full WAL replay.
+            durable.archive.checkpoint_path.unlink()
+            refull, full_s, n_full, report = _restart(
+                params, durable, builder, platform, ias
+            )
+            assert not report.checkpoint_used
+            assert report.replayed_blocks == length
+            assert refull.node.state.root == durable.node.state.root
+            full_ecalls[length] = n_full
+
+            rows.append([
+                length,
+                length % _INTERVAL,
+                n_ckpt,
+                round(ckpt_s * 1000, 1),
+                n_full,
+                round(full_s * 1000, 1),
+            ])
+            record[f"len{length}"] = {
+                "chain_length": length,
+                "tail_gap": length % _INTERVAL,
+                "checkpoint_ecalls": n_ckpt,
+                "checkpoint_recovery_ms": ckpt_s * 1000,
+                "full_replay_ecalls": n_full,
+                "full_replay_recovery_ms": full_s * 1000,
+            }
+        snapshot = obs.registry().snapshot()
+    print_table(
+        "Restart cost vs chain length "
+        f"(checkpoint interval {_INTERVAL}, constant 2-block tail)",
+        ["chain len", "gap", "ckpt ecalls", "ckpt ms",
+         "replay ecalls", "replay ms"],
+        rows,
+    )
+    record["metrics"] = {
+        "restarts": snapshot["counters"].get("recovery.restarts", 0),
+        "replayed_blocks": snapshot["counters"].get(
+            "recovery.replayed_blocks", 0
+        ),
+    }
+    bench_record("recovery", record)
+
+    # Reproduced claims.
+    flat = set(ckpt_ecalls.values())
+    assert len(flat) == 1, (
+        f"checkpointed recovery ecalls vary with chain length: {ckpt_ecalls}"
+    )
+    ordered = [full_ecalls[length] for length in _LENGTHS]
+    assert ordered == sorted(ordered) and ordered[0] < ordered[-1], (
+        f"full-replay ecalls should grow with chain length: {full_ecalls}"
+    )
+    # At every length the checkpoint path does strictly less enclave work.
+    for length in _LENGTHS:
+        assert ckpt_ecalls[length] < full_ecalls[length]

@@ -59,6 +59,11 @@ class StateStore:
         """Commit a block's write set in one batched tree update."""
         self._tree.update_batch(writes)
 
+    def items(self) -> list[tuple[bytes, bytes]]:
+        """Every live ``(key, value)`` cell — the material a recovery
+        checkpoint snapshots (see :mod:`repro.core.recovery`)."""
+        return list(self._tree.items())
+
     def prove(self, key: bytes) -> SMTProof:
         return self._tree.prove(key)
 

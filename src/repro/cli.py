@@ -9,6 +9,11 @@ Commands:
   remote superlight client bootstraps and queries two Service
   Providers over RPC while a fault injector drops messages to the
   first one.
+* ``demo-crash`` — crash-safety demonstration: a durable issuer is
+  killed at a chosen crashpoint mid-``certify_range``, its supervisor
+  restores it from the write-ahead archive (sealed checkpoint + WAL
+  tail replay), and the remote client finishes its verified query
+  against the restarted issuer without re-attesting.
 * ``selftest`` — a fast certification round trip with tamper checks;
   exits non-zero on any failure (useful as a deployment smoke test).
 * ``metrics`` — run the networked demo with observability enabled and
@@ -221,6 +226,145 @@ def cmd_demo_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_demo_crash(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.chain import ChainBuilder
+    from repro.chain.genesis import make_genesis
+    from repro.chain.transaction import sign_transaction
+    from repro.core import (
+        IssuerService,
+        RemoteSuperlightClient,
+        compute_expected_measurement,
+    )
+    from repro.core.recovery import DurableIssuer, recover_issuer
+    from repro.crypto import generate_keypair
+    from repro.fault.crashpoints import CATALOG, crash_armed
+    from repro.net import IssuerSupervisor, MessageBus, RestartPolicy, RetryPolicy
+    from repro.net.rpc import RpcClient
+    from repro.query import HistoryQuery, QueryService, QueryServiceProvider
+    from repro.query.indexes import AccountHistoryIndexSpec
+    from repro.sgx.attestation import AttestationService
+    from repro.sgx.platform import SGXPlatform
+    from repro.storage import ChainArchive
+
+    if args.point not in CATALOG:
+        print(f"unknown crashpoint {args.point!r}; one of:", file=sys.stderr)
+        for name in CATALOG:
+            print(f"  {name}", file=sys.stderr)
+        return 2
+
+    user = generate_keypair(b"cli-user")
+    builder = ChainBuilder(difficulty_bits=4, network="cli")
+    nonce = 0
+    for _ in range(args.blocks):
+        txs = []
+        for _ in range(3):
+            txs.append(
+                sign_transaction(
+                    user.private, nonce, "kvstore", "put",
+                    (f"acct{nonce % 4}", f"value-{nonce}"),
+                )
+            )
+            nonce += 1
+        builder.add_block(txs)
+
+    spec = AccountHistoryIndexSpec(name="history")
+    ias = AttestationService(seed=b"cli-ias")
+    platform = SGXPlatform(seed=b"cli-platform")
+    half = args.blocks // 2
+
+    with tempfile.TemporaryDirectory(prefix="repro-demo-crash-") as tmp:
+        archive = ChainArchive(Path(tmp) / "issuer.wal")
+        genesis, state = make_genesis(network="cli")
+        durable = DurableIssuer.create(
+            archive, genesis, state, _fresh_vm(), builder.pow,
+            index_specs=[spec], platform=platform, ias=ias,
+            key_seed=b"cli-enclave", checkpoint_interval=3,
+        )
+        print(f"Mining {args.blocks} blocks; durably certifying the first "
+              f"{half} (WAL + sealed checkpoint every 3)...")
+        for block in builder.blocks[1 : 1 + half]:
+            durable.process_block(block)
+
+        sp_genesis, sp_state = make_genesis(network="cli")
+        provider = QueryServiceProvider(
+            sp_genesis, sp_state, _fresh_vm(), builder.pow, [spec]
+        )
+        for block in builder.blocks[1:]:
+            provider.ingest_block(block)
+
+        def restore():
+            genesis2, state2 = make_genesis(network="cli")
+            return recover_issuer(
+                archive, genesis2, state2, _fresh_vm(), builder.pow,
+                index_specs=[spec], platform=platform, ias=ias,
+                checkpoint_interval=3,
+            )
+
+        bus = MessageBus(default_latency_ms=10.0)
+        service = IssuerService(bus, "ci", durable)
+        supervisor = IssuerSupervisor(
+            service, restore,
+            policy=RestartPolicy(max_attempts=3, backoff_base_ms=40.0),
+        )
+        QueryService(bus, "sp", provider)
+        measurement = compute_expected_measurement(
+            genesis.header.header_hash(), ias.public_key, _fresh_vm(),
+            builder.pow.difficulty_bits, {spec.name: spec},
+        )
+        client = RemoteSuperlightClient(
+            bus, "client", measurement, ias.public_key,
+            issuers=["ci"], providers=["sp"],
+            policy=RetryPolicy(timeout_ms=150.0, max_attempts=4,
+                               backoff_base_ms=20.0),
+        )
+        client.bootstrap()
+        pk_before = service.issuer.pk_enc.to_bytes()
+        print(f"Remote client attested and adopted the certified tip at "
+              f"height {client.latest_header.height}.")
+
+        print(f"\nMiner submits blocks {half + 1}..{args.blocks}; the issuer "
+              f"is armed to die at {args.point!r} (hit {args.hit}).")
+        miner = RpcClient(
+            bus, "miner",
+            policy=RetryPolicy(timeout_ms=200.0, max_attempts=5,
+                               backoff_base_ms=30.0),
+        )
+        with crash_armed(args.point, hit=args.hit) as schedule:
+            tips = miner.call(
+                "ci", "certify_range", tuple(builder.blocks[1 + half :])
+            )
+        if not schedule.fired:
+            print("  (the crashpoint was never reached by this workload)")
+        report = service.issuer.last_recovery
+        print(f"  crash fired: {schedule.fired}; supervisor restarts: "
+              f"{supervisor.restarts} (of {supervisor.crashes} crashes)")
+        if report is not None:
+            print(f"  recovery: checkpoint_used={report.checkpoint_used} "
+                  f"(height {report.checkpoint_height}), "
+                  f"replayed {report.replayed_blocks} WAL-tail blocks, "
+                  f"resumed {report.staged_resumed} staged")
+        print(f"  miner's retried call returned certified tips "
+              f"{[tip.header.height for tip in tips]}")
+        same_key = service.issuer.pk_enc.to_bytes() == pk_before
+        print(f"  pk_enc stable across restart (sealed key): {same_key}")
+
+        client.sync()
+        request = HistoryQuery(
+            index="history", account="acct1", t_from=1, t_to=builder.height
+        )
+        answer = client.query(request)
+        ok = client.client.verify_answer(request, answer)
+        print(f"\nClient synced to height {client.latest_header.height} and "
+              f"verified a history query ({len(answer.payload.versions)} "
+              f"versions of acct1): {ok}")
+        print(f"  attestation reports verified in total: "
+              f"{len(client.client._verified_reports)} (no re-attestation)")
+        return 0 if (ok and same_key and not supervisor.gave_up) else 1
+
+
 def cmd_selftest(_: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -340,6 +484,19 @@ def main(argv: list[str] | None = None) -> int:
         help="drop rate on the client<->sp1 links (default 0.3)",
     )
     network.add_argument("--seed", type=int, default=7)
+    crash = subparsers.add_parser(
+        "demo-crash",
+        help="kill the issuer at a crashpoint; supervised recovery demo",
+    )
+    crash.add_argument("--blocks", type=int, default=8)
+    crash.add_argument(
+        "--point", default="issuer.certify_staged.post",
+        help="crashpoint to arm (see repro.fault.crashpoints.CATALOG)",
+    )
+    crash.add_argument(
+        "--hit", type=int, default=1,
+        help="fire on the n-th arrival at the crashpoint (default 1)",
+    )
     subparsers.add_parser("selftest", help="fast certification round trip")
     metrics = subparsers.add_parser(
         "metrics",
@@ -360,6 +517,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "demo": cmd_demo,
         "demo-network": cmd_demo_network,
+        "demo-crash": cmd_demo_crash,
         "selftest": cmd_selftest,
         "metrics": cmd_metrics,
     }

@@ -26,6 +26,12 @@ from repro.core.digest import block_digest, index_digest
 from repro.core.enclave_program import DCertEnclaveProgram
 from repro.core.issuer import CertificateIssuer, CertifiedTip, IssuerService
 from repro.core.pipeline import CertificationPipeline, PipelineStats
+from repro.core.recovery import (
+    DurableIssuer,
+    IssuerCheckpoint,
+    RecoveryReport,
+    recover_issuer,
+)
 from repro.core.statesync import StateSnapshot, bootstrap_full_node, export_snapshot
 from repro.core.superlight import (
     RemoteSuperlightClient,
@@ -41,14 +47,18 @@ __all__ = [
     "CertificationPipeline",
     "CertifiedTip",
     "DCertEnclaveProgram",
+    "DurableIssuer",
     "IndexUpdate",
+    "IssuerCheckpoint",
     "IssuerService",
     "PipelineStats",
     "LightClient",
+    "RecoveryReport",
     "RemoteSuperlightClient",
     "StateSnapshot",
     "SuperlightClient",
     "UpdateProof",
+    "recover_issuer",
     "block_digest",
     "bootstrap_full_node",
     "compute_expected_measurement",

@@ -52,6 +52,13 @@ _WRITE_SET_CACHE = 4
 #: penalty, never a soundness issue.
 _CARRIED_SLICE_CAP = 4096
 
+#: Domain prefixes inside sealed plaintexts.  Sealing authenticates
+#: *who* sealed (platform + measurement) but not *what for*; without a
+#: domain tag a sealed checkpoint could be fed back as a sealed signing
+#: key (or vice versa).  The prefix is checked on unseal.
+_SEAL_KEY_DOMAIN = b"dcert.sealed.signing-key\x00"
+_SEAL_CKPT_DOMAIN = b"dcert.sealed.checkpoint\x00"
+
 
 class _NoState:
     """Backing used when a block ships no update proof: any state access
@@ -76,6 +83,8 @@ class DCertEnclaveProgram(EnclaveProgram):
         "augmented_sig_gen",
         "index_sig_gen",
         "seal_signing_key",
+        "seal_checkpoint",
+        "unseal_checkpoint",
     )
 
     def __init__(
@@ -143,9 +152,14 @@ class DCertEnclaveProgram(EnclaveProgram):
             from repro.crypto.keys import KeyPair, PrivateKey
             from repro.sgx.sealing import unseal
 
-            secret_bytes = unseal(
+            plaintext = unseal(
                 self._platform, self.self_measurement, self._sealed_key
             )
+            if not plaintext.startswith(_SEAL_KEY_DOMAIN):
+                raise EnclaveError(
+                    "sealed blob is not a signing key (wrong seal domain)"
+                )
+            secret_bytes = plaintext[len(_SEAL_KEY_DOMAIN) :]
             private = PrivateKey(int.from_bytes(secret_bytes, "big"))
             self._keypair = KeyPair(private, private.public_key())
         else:
@@ -159,8 +173,36 @@ class DCertEnclaveProgram(EnclaveProgram):
         return seal(
             self._platform,
             self.self_measurement,
-            self._keypair.private.secret.to_bytes(32, "big"),
+            _SEAL_KEY_DOMAIN + self._keypair.private.secret.to_bytes(32, "big"),
         )
+
+    def seal_checkpoint(self, payload: bytes) -> bytes:
+        """Seal a recovery checkpoint to this enclave's identity.
+
+        The payload is untrusted CI state (see
+        :mod:`repro.core.recovery`); sealing does not make it *true*, it
+        makes it *tamper-evident* — only this program on this platform
+        can produce or reopen the blob, so a checkpoint modified on disk
+        fails the MAC instead of being replayed.
+        """
+        from repro.sgx.sealing import seal
+
+        if not isinstance(payload, bytes):
+            raise EnclaveError("seal_checkpoint takes a bytes payload")
+        return seal(
+            self._platform, self.self_measurement, _SEAL_CKPT_DOMAIN + payload
+        )
+
+    def unseal_checkpoint(self, sealed: bytes) -> bytes:
+        """Reopen a checkpoint sealed by :meth:`seal_checkpoint`."""
+        from repro.sgx.sealing import unseal
+
+        plaintext = unseal(self._platform, self.self_measurement, sealed)
+        if not plaintext.startswith(_SEAL_CKPT_DOMAIN):
+            raise EnclaveError(
+                "sealed blob is not a checkpoint (wrong seal domain)"
+            )
+        return plaintext[len(_SEAL_CKPT_DOMAIN) :]
 
     # -- ecall: block certificate (Alg. 2) ------------------------------------
 

@@ -37,6 +37,7 @@ from repro.core.updateproof import UpdateProof
 from repro.crypto import PublicKey
 from repro.crypto.hashing import Digest
 from repro.errors import CertificateError, ServiceUnavailableError
+from repro.fault.crashpoints import crashpoint
 from repro.merkle.proofcache import ProofCache
 from repro.query.indexes import (
     AccountHistoryIndexSpec,
@@ -77,6 +78,9 @@ class CertifiedBlock:
     index_certificates: dict[str, Certificate] = field(default_factory=dict)
     index_roots: dict[str, Digest] = field(default_factory=dict)
     augmented_certificates: dict[str, Certificate] = field(default_factory=dict)
+    # The block's state write set, kept so the durable archive can
+    # persist it and recovery can rebuild indexes without re-execution.
+    write_set: dict[bytes, bytes | None] = field(default_factory=dict)
 
 
 @dataclass(frozen=True, slots=True)
@@ -258,10 +262,13 @@ class CertificateIssuer:
         # full proofs again rather than assume coverage that is gone.
         self.proof_cache.clear()
         self._enclave_keys.clear()
+        crashpoint("issuer.process_block.pre")
         with obs.trace_span("issuer.process_block"):
-            return self._process_block(
+            certified = self._process_block(
                 block, schemes=schemes, precomputed=precomputed
             )
+        crashpoint("issuer.process_block.post")
+        return certified
 
     def _process_block(
         self,
@@ -282,7 +289,9 @@ class CertificateIssuer:
             certificate, update_proof, write_set = self.gen_cert(
                 block, precomputed=(result, update_proof)
             )
-        certified = CertifiedBlock(block=block, certificate=certificate)
+        certified = CertifiedBlock(
+            block=block, certificate=certificate, write_set=dict(write_set)
+        )
 
         # Ingest index updates once; reuse proofs across both schemes.
         ingests: dict[str, tuple[Digest, tuple, object, Digest]] = {}
@@ -421,6 +430,7 @@ class CertificateIssuer:
             )
             self.node.state.apply_writes(result.write_set)
             self.node.blocks.append(block)
+        crashpoint("issuer.stage_block.post")
         if obs.enabled():
             obs.inc("issuer.blocks_staged")
             obs.observe(
@@ -454,6 +464,7 @@ class CertificateIssuer:
         mirror = self.proof_cache.keys()
         evict = tuple(sorted((self._enclave_keys | merged) - mirror))
         peak_payload = max(item.payload_bytes() for item in items)
+        crashpoint("issuer.certify_staged.pre")
         try:
             with obs.trace_span("issuer.certify_staged"):
                 signatures = self.enclave.ecall(
@@ -471,6 +482,7 @@ class CertificateIssuer:
             self.proof_cache.clear()
             self._enclave_keys.clear()
             raise
+        crashpoint("issuer.certify_staged.post")
         self._enclave_keys = mirror
 
         results: list[CertifiedBlock] = []
@@ -482,7 +494,11 @@ class CertificateIssuer:
                 dig=block_digest(block.header),
                 sig=sig,
             )
-            certified = CertifiedBlock(block=block, certificate=certificate)
+            certified = CertifiedBlock(
+                block=block,
+                certificate=certificate,
+                write_set=dict(entry.write_set),
+            )
             for name, index_sig in index_sigs.items():
                 new_root = entry.new_index_roots[name]
                 cert = Certificate(
@@ -607,12 +623,60 @@ class IssuerService:
         raise ServiceUnavailableError(f"no certified block at height {height!r}")
 
     def _certify_range(self, blocks: object) -> tuple[CertifiedTip, ...]:
+        """Certify a run of consecutive blocks, idempotently.
+
+        A client retrying after an issuer crash + restore may resend
+        blocks the issuer already certified (the certificates were
+        durable but the response was lost).  Heights at or below the
+        tip whose header hash matches the certified block are answered
+        from the archive — re-certifying them would produce the exact
+        same bytes anyway (deterministic signatures) — and only the
+        genuinely new suffix goes through the enclave.
+        """
         if not isinstance(blocks, (list, tuple)) or not blocks:
             raise CertificateError("certify_range takes a non-empty block list")
         if not all(isinstance(block, Block) for block in blocks):
             raise CertificateError("certify_range takes Block objects")
-        certified = self.issuer.issue_batch(list(blocks))
-        return tuple(self._certified_tip(entry) for entry in certified)
+        replayed: list[CertifiedTip] = []
+        fresh: list[Block] = []
+        certified_at = {
+            entry.block.header.height: entry for entry in self.issuer.certified
+        }
+        for block in blocks:
+            if fresh:
+                fresh.append(block)
+                continue
+            existing = certified_at.get(block.header.height)
+            if (
+                existing is not None
+                and existing.block.header.header_hash()
+                == block.header.header_hash()
+            ):
+                replayed.append(self._certified_tip(existing))
+            else:
+                fresh.append(block)
+        if fresh and self.issuer.staged_count:
+            # Recovery resumed a staged batch the crash interrupted; if
+            # the retry re-sends exactly those blocks, finish the batch
+            # instead of staging duplicates.
+            staged_hashes = [
+                staged.block.header.header_hash()
+                for staged in self.issuer._staged
+            ]
+            fresh_hashes = [
+                block.header.header_hash()
+                for block in fresh[: len(staged_hashes)]
+            ]
+            if staged_hashes == fresh_hashes:
+                certified = self.issuer.certify_staged()
+                replayed.extend(
+                    self._certified_tip(entry) for entry in certified
+                )
+                fresh = fresh[len(staged_hashes) :]
+        if fresh:
+            certified = self.issuer.issue_batch(fresh)
+            replayed.extend(self._certified_tip(entry) for entry in certified)
+        return tuple(replayed)
 
     def _evidence(self, _argument: object) -> AttestationEvidence:
         return AttestationEvidence(

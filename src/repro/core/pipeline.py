@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.chain.block import Block
 from repro.core.issuer import CertificateIssuer, CertifiedBlock
+from repro.fault.crashpoints import crashpoint
 
 
 @dataclass(slots=True)
@@ -86,6 +87,7 @@ class CertificationPipeline:
         """Certify whatever is staged (no-op on an empty queue)."""
         if self.issuer.staged_count == 0:
             return []
+        crashpoint("pipeline.flush.pre")
         # This batch staged while the enclave was (modeled) busy with
         # the previous one; the shorter of the two is hidden latency.
         self.stats.overlap_saved_s += min(

@@ -58,6 +58,21 @@ class QueryError(ReproError):
     """A verifiable query failed processing or result verification."""
 
 
+class StorageError(ReproError):
+    """Base class for durable-archive (WAL/checkpoint) failures."""
+
+
+class ArchiveFormatError(StorageError):
+    """The archive violates its structural contract (bad magic, head
+    record missing/duplicated/out of place, non-consecutive heights)."""
+
+
+class ArchiveCorruptionError(StorageError):
+    """Archive bytes are present but wrong (CRC mismatch, undecodable
+    record) — corruption or tampering, distinct from a torn tail, which
+    is a normal crash artifact and repaired by truncation."""
+
+
 class NetworkError(ReproError):
     """Base class for failures in the simulated network / RPC layer."""
 

@@ -1,0 +1,28 @@
+"""Deterministic fault injection for crash-safety testing.
+
+:mod:`repro.fault.crashpoints` plants named crashpoints at the durable
+boundaries of the library; :mod:`repro.fault.chaos` sweeps them and
+checks the recovery invariants.  See ``docs/recovery.md``.
+"""
+
+from repro.fault.crashpoints import (
+    CATALOG,
+    CrashSchedule,
+    SimulatedCrash,
+    active_schedule,
+    crash_armed,
+    crash_now,
+    crashpoint,
+    torn_prefix,
+)
+
+__all__ = [
+    "CATALOG",
+    "CrashSchedule",
+    "SimulatedCrash",
+    "active_schedule",
+    "crash_armed",
+    "crash_now",
+    "crashpoint",
+    "torn_prefix",
+]

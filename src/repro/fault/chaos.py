@@ -1,0 +1,269 @@
+"""The chaos harness: sweep every crashpoint, assert recovery invariants.
+
+For each cataloged crashpoint the harness runs a fixed mixed workload
+(sequential certification, then pipelined batches) against a
+:class:`~repro.core.recovery.DurableIssuer`, crashes it at the armed
+point, recovers from the archive, finishes the workload, and checks —
+against a no-crash baseline run under the same deterministic identity
+(same platform seed, same enclave key seed, same IAS) — that:
+
+* the recovered chain's certificates are **byte-identical** to the
+  baseline's at every height (so no certificate was ever double-issued
+  with diverging bytes);
+* ``pk_enc`` is unchanged across the crash (sealed key survived);
+* a superlight client bootstrapped from published sources accepts the
+  final tip and an index certificate — it never sees an invalid answer
+  because of the crash.
+
+Determinism: a case is fully described by ``(point, hit, seed)``; the
+pytest sweep (``tests/fault/test_chaos_sweep.py``) prints a replay
+command for any failure, mirroring ``tests/proptest/framework.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.chain import ChainBuilder
+from repro.chain.block import Block
+from repro.chain.genesis import make_genesis
+from repro.chain.transaction import sign_transaction
+from repro.chain.vm import VM
+from repro.contracts import BLOCKBENCH
+from repro.core.pipeline import CertificationPipeline
+from repro.core.recovery import DurableIssuer, recover_issuer
+from repro.core.superlight import SuperlightClient, compute_expected_measurement
+from repro.crypto import generate_keypair
+from repro.fault.crashpoints import SimulatedCrash, crash_armed
+from repro.query.indexes import AccountHistoryIndexSpec
+from repro.sgx.attestation import AttestationService
+from repro.sgx.platform import SGXPlatform
+
+#: Workload shape: this many blocks certified sequentially, the rest
+#: through the pipeline in batches of _BATCH.
+_SEQUENTIAL_PREFIX = 3
+_BATCH = 3
+_NETWORK = "chaos"
+_CHECKPOINT_INTERVAL = 4
+
+
+@dataclass(slots=True)
+class ChaosWorld:
+    """The deterministic fixtures every chaos case shares."""
+
+    blocks: list[Block]
+    vm: VM
+    pow_engine: object
+    ias: AttestationService
+    spec: AccountHistoryIndexSpec
+
+
+@dataclass(slots=True)
+class ChaosOutcome:
+    """What one chaos case observed (asserted on by the sweep test)."""
+
+    point: str
+    crashed: bool
+    recovered_height: int
+    replayed_blocks: int
+    checkpoint_used: bool
+    staged_resumed: int
+
+
+def build_world(num_blocks: int = 10, block_size: int = 2) -> ChaosWorld:
+    """Mine the deterministic chaos chain (PoW search is deterministic
+    for fixed transactions, so every case sees identical blocks)."""
+    vm = VM()
+    for factory in BLOCKBENCH.values():
+        vm.deploy(factory())
+    user = generate_keypair(b"chaos-user")
+    builder = ChainBuilder(difficulty_bits=4, network=_NETWORK)
+    nonce = 0
+    for _ in range(num_blocks):
+        txs = []
+        for _ in range(block_size):
+            txs.append(
+                sign_transaction(
+                    user.private, nonce, "kvstore", "put",
+                    (f"acct{nonce % 3}", f"value-{nonce}"),
+                )
+            )
+            nonce += 1
+        builder.add_block(txs)
+    return ChaosWorld(
+        blocks=list(builder.blocks[1:]),
+        vm=vm,
+        pow_engine=builder.pow,
+        ias=AttestationService(seed=b"chaos-ias"),
+        spec=AccountHistoryIndexSpec(name="history"),
+    )
+
+
+def _fresh_durable(world: ChaosWorld, archive_path: Path) -> DurableIssuer:
+    from repro.storage import ChainArchive
+
+    genesis, state = make_genesis(network=_NETWORK)
+    return DurableIssuer.create(
+        ChainArchive(archive_path),
+        genesis,
+        state,
+        world.vm,
+        world.pow_engine,
+        index_specs=[world.spec],
+        platform=SGXPlatform(seed=b"chaos-platform"),
+        ias=world.ias,
+        key_seed=b"chaos-enclave",
+        proof_cache_entries=64,
+        checkpoint_interval=_CHECKPOINT_INTERVAL,
+    )
+
+
+def _recover(world: ChaosWorld, archive_path: Path) -> DurableIssuer:
+    from repro.storage import ChainArchive
+
+    genesis, state = make_genesis(network=_NETWORK)
+    return recover_issuer(
+        ChainArchive(archive_path),
+        genesis,
+        state,
+        world.vm,
+        world.pow_engine,
+        index_specs=[world.spec],
+        platform=SGXPlatform(seed=b"chaos-platform"),
+        ias=world.ias,
+        proof_cache_entries=64,
+        checkpoint_interval=_CHECKPOINT_INTERVAL,
+    )
+
+
+def _run_workload(durable: DurableIssuer, blocks: list[Block]) -> None:
+    """Sequential prefix, then pipelined batches — exercises every
+    durable path (process_block, stage/certify, pipeline flush)."""
+    remaining = [
+        block
+        for block in blocks
+        if block.header.height > durable.issuer.node.height
+    ]
+    for block in remaining[:]:
+        if block.header.height > _SEQUENTIAL_PREFIX:
+            break
+        durable.process_block(block)
+        remaining.remove(block)
+    if durable.issuer.staged_count:
+        durable.certify_staged()
+    pipeline = CertificationPipeline(durable, batch_size=_BATCH)
+    for block in remaining:
+        pipeline.submit(block)
+    pipeline.close()
+
+
+def certificate_bytes(issuer) -> dict[int, tuple[bytes, tuple[bytes, ...]]]:
+    """Per-height (block cert bytes, sorted index cert bytes) — the
+    byte-identity fingerprint the invariants compare."""
+    fingerprint: dict[int, tuple[bytes, tuple[bytes, ...]]] = {}
+    for certified in issuer.certified:
+        fingerprint[certified.block.header.height] = (
+            certified.certificate.encode()
+            if certified.certificate is not None
+            else b"",
+            tuple(
+                certified.index_certificates[name].encode()
+                for name in sorted(certified.index_certificates)
+            ),
+        )
+    return fingerprint
+
+
+def run_baseline(world: ChaosWorld, tmp_path: Path):
+    """The no-crash run: same workload, same identity, no schedule."""
+    durable = _fresh_durable(world, tmp_path / "baseline.wal")
+    _run_workload(durable, world.blocks)
+    return durable
+
+
+def _verify_with_superlight(world: ChaosWorld, issuer) -> None:
+    genesis_digest = issuer.node.blocks[0].header.header_hash()
+    measurement = compute_expected_measurement(
+        genesis_digest,
+        world.ias.public_key,
+        world.vm,
+        world.pow_engine.difficulty_bits,
+        {world.spec.name: world.spec},
+    )
+    client = SuperlightClient(measurement, world.ias.public_key)
+    tip = issuer.certified[-1]
+    client.validate_chain(tip.block.header, tip.certificate)
+    client.validate_index_certificate(
+        world.spec.name,
+        tip.block.header,
+        tip.index_roots[world.spec.name],
+        tip.index_certificates[world.spec.name],
+    )
+
+
+def run_case(
+    world: ChaosWorld,
+    tmp_path: Path,
+    baseline: dict[int, tuple[bytes, tuple[bytes, ...]]],
+    baseline_pk: bytes,
+    point: str,
+    *,
+    hit: int = 1,
+    seed: int = 0,
+) -> ChaosOutcome:
+    """One chaos case: crash at ``(point, hit, seed)``, recover, finish,
+    and assert the recovery invariants against the baseline."""
+    archive_path = tmp_path / f"case-{point.replace('.', '_')}-{hit}-{seed}.wal"
+    # Provision before arming: crash-during-provisioning has no archive
+    # head yet, so there is nothing to recover — out of scope.
+    durable = _fresh_durable(world, archive_path)
+    crashed = False
+    with crash_armed(point, hit=hit, seed=seed) as schedule:
+        try:
+            _run_workload(durable, world.blocks)
+        except SimulatedCrash:
+            crashed = True
+    assert crashed == schedule.fired
+
+    # The 'process' is gone; recover from disk alone.
+    recovered = _recover(world, archive_path)
+    report = recovered.last_recovery
+    recovered_height = recovered.issuer.node.height
+
+    # Finish the workload: certify any resumed staged batch, then feed
+    # every block the recovered tip does not cover yet.
+    if recovered.issuer.staged_count:
+        recovered.certify_staged()
+    _run_workload(recovered, world.blocks)
+
+    # Invariant: same pk_enc across the crash (sealed key survived).
+    assert recovered.pk_enc.to_bytes() == baseline_pk, point
+    # Invariant: every certificate byte-identical to the no-crash run —
+    # in memory and in the durable archive (no diverging double-issue).
+    assert certificate_bytes(recovered.issuer) == baseline, point
+    reloaded = recovered.archive.load()
+    for entry in reloaded.entries:
+        base_cert, base_index = baseline[entry.block.header.height]
+        archived_cert = (
+            entry.certificate.encode() if entry.certificate is not None else b""
+        )
+        assert archived_cert == base_cert, point
+        assert (
+            tuple(
+                entry.index_certificates[name].encode()
+                for name in sorted(entry.index_certificates)
+            )
+            == base_index
+        ), point
+    # Invariant: a bootstrapping superlight client accepts the tip.
+    _verify_with_superlight(world, recovered.issuer)
+
+    return ChaosOutcome(
+        point=point,
+        crashed=crashed,
+        recovered_height=recovered_height,
+        replayed_blocks=report.replayed_blocks if report else 0,
+        checkpoint_used=report.checkpoint_used if report else False,
+        staged_resumed=report.staged_resumed if report else 0,
+    )

@@ -22,14 +22,17 @@ from repro.net.bus import MessageBus, NetworkNode
 from repro.net.faults import FaultInjector, LinkFaults
 from repro.net.messages import BlockAnnouncement, CertificateAnnouncement
 from repro.net.rpc import RetryPolicy, RpcClient, RpcRequest, RpcResponse, RpcServer
+from repro.net.supervisor import IssuerSupervisor, RestartPolicy
 
 __all__ = [
     "BlockAnnouncement",
     "CertificateAnnouncement",
     "FaultInjector",
+    "IssuerSupervisor",
     "LinkFaults",
     "MessageBus",
     "NetworkNode",
+    "RestartPolicy",
     "RetryPolicy",
     "RpcClient",
     "RpcRequest",

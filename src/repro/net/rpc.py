@@ -94,6 +94,12 @@ class RetryPolicy:
 Handler = Callable[[object], object]
 
 
+class DropRequest(Exception):
+    """Raised by a handler (or a supervising wrapper) to drop the
+    request silently — no reply at all, as if the host were dead.  The
+    client's timeout-and-retry path takes over."""
+
+
 class RpcServer:
     """A named service endpoint: method registry + envelope plumbing."""
 
@@ -105,12 +111,21 @@ class RpcServer:
         self._methods: dict[str, Handler] = {}
         self.requests_served = 0
         self.requests_dropped = 0
+        #: While True the endpoint behaves like a dead host: every
+        #: request is dropped without a reply.  A supervisor pauses the
+        #: server while its backing service is being restored (the bus
+        #: does not allow leaving and rejoining under the same name).
+        self.paused = False
 
     def register(self, method: str, handler: Handler) -> None:
         """Expose ``handler`` (decoded-payload -> result object)."""
         self._methods[method] = handler
 
     def _handle(self, message: object) -> None:
+        if self.paused:
+            self.requests_dropped += 1
+            obs.inc("rpc.server.dropped")
+            return
         if not isinstance(message, RpcRequest):
             self.requests_dropped += 1
             obs.inc("rpc.server.dropped")
@@ -134,6 +149,10 @@ class RpcServer:
         started = time.perf_counter()
         try:
             result = handler(argument)
+        except DropRequest:
+            self.requests_dropped += 1
+            obs.inc("rpc.server.dropped")
+            return
         except ReproError as exc:
             obs.inc(f"rpc.server.errors.{message.method}")
             self._reply(

@@ -26,6 +26,7 @@ from typing import Any
 from repro import obs
 from repro.crypto.hashing import Digest, tagged_hash
 from repro.errors import EnclaveError
+from repro.fault.crashpoints import crashpoint
 from repro.sgx.attestation import AttestationReport, AttestationService, sign_quote
 from repro.sgx.costs import CostLedger, SGXCostModel, model_enabled, spend
 from repro.sgx.platform import SGXPlatform
@@ -159,6 +160,7 @@ class EnclaveHost:
         """
         if name not in type(self.program).ECALLS:
             raise EnclaveError(f"undefined ecall {name!r}")
+        crashpoint("enclave.ecall.pre")
         handler = getattr(self.program, name)
         # Bookkeeping always happens; the *charges* (and the busy-wait
         # that spends them) only apply while the cost model is enabled.
@@ -196,4 +198,7 @@ class EnclaveHost:
                     spend(
                         self.cost_model.ecall_transition_s + slowdown + paging
                     )
+        # The host 'dies' after the enclave returned but before it acted
+        # on the result — the result is lost with the host's memory.
+        crashpoint("enclave.ecall.post")
         return result

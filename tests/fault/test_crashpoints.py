@@ -1,0 +1,94 @@
+"""Crashpoint registry mechanics: scheduling, determinism, hygiene."""
+
+import pytest
+
+from repro.fault.crashpoints import (
+    CATALOG,
+    CrashSchedule,
+    SimulatedCrash,
+    active_schedule,
+    crash_armed,
+    crashpoint,
+    torn_prefix,
+)
+
+
+def test_crashpoint_is_noop_when_disarmed():
+    crashpoint("wal.append.pre_write")  # must not raise
+    assert active_schedule() is None
+
+
+def test_uncataloged_name_fails_loudly_when_disarmed():
+    with pytest.raises(AssertionError):
+        crashpoint("not.a.real.point")
+
+
+def test_schedule_rejects_unknown_point_and_bad_hit():
+    with pytest.raises(ValueError):
+        CrashSchedule("not.a.real.point")
+    with pytest.raises(ValueError):
+        CrashSchedule("wal.append.pre_write", hit=0)
+
+
+def test_armed_schedule_fires_on_scheduled_hit():
+    with crash_armed("wal.append.pre_write", hit=3) as schedule:
+        crashpoint("wal.append.pre_write")
+        crashpoint("wal.append.pre_write")
+        with pytest.raises(SimulatedCrash) as crash:
+            crashpoint("wal.append.pre_write")
+        assert crash.value.point == "wal.append.pre_write"
+        assert crash.value.hit == 3
+        assert schedule.fired
+        # A fired schedule never fires again (the process died once).
+        crashpoint("wal.append.pre_write")
+    assert active_schedule() is None
+
+
+def test_other_points_do_not_fire():
+    with crash_armed("wal.append.post_fsync") as schedule:
+        crashpoint("wal.append.pre_write")
+        crashpoint("enclave.ecall.pre")
+        assert not schedule.fired
+
+
+def test_simulated_crash_evades_except_exception():
+    """The whole point of BaseException: cleanup paths that catch
+    Exception must not swallow a dying process."""
+    with crash_armed("enclave.ecall.pre"):
+        with pytest.raises(SimulatedCrash):
+            try:
+                crashpoint("enclave.ecall.pre")
+            except Exception:  # noqa: BLE001 - the pattern under test
+                pytest.fail("SimulatedCrash was caught by 'except Exception'")
+
+
+def test_torn_prefix_deterministic_and_interior():
+    cuts = []
+    for _ in range(2):
+        with crash_armed("wal.append.torn_write", seed=7):
+            cut = torn_prefix("wal.append.torn_write", 100)
+        cuts.append(cut)
+    assert cuts[0] == cuts[1]  # same (point, seed) -> same cut
+    assert 1 <= cuts[0] <= 99  # strictly inside the payload
+    with crash_armed("wal.append.torn_write", seed=8):
+        other = torn_prefix("wal.append.torn_write", 100)
+    assert other != cuts[0] or True  # different seed may differ (no crash)
+
+
+def test_torn_prefix_not_due_returns_none():
+    with crash_armed("wal.append.torn_write", hit=2):
+        assert torn_prefix("wal.append.torn_write", 100) is None  # hit 1 of 2
+    assert torn_prefix("wal.append.torn_write", 100) is None  # disarmed
+
+
+def test_nested_arming_restores_outer():
+    with crash_armed("wal.append.pre_write") as outer:
+        with crash_armed("enclave.ecall.pre"):
+            assert active_schedule().point == "enclave.ecall.pre"
+        assert active_schedule() is outer
+
+
+def test_catalog_names_are_unique_and_namespaced():
+    assert len(set(CATALOG)) == len(CATALOG)
+    for name in CATALOG:
+        assert "." in name

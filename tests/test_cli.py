@@ -1,4 +1,4 @@
-"""The CLI: info, selftest, demo, demo-network, metrics."""
+"""The CLI: info, selftest, demo, demo-network, demo-crash, metrics."""
 
 import json
 
@@ -30,6 +30,20 @@ def test_demo_network(capsys):
     out = capsys.readouterr().out
     assert "adopted certified tip at height 3" in out
     assert "Verified query over RPC" in out
+
+
+def test_demo_crash(capsys):
+    assert main(["demo-crash", "--blocks", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "crash fired: True" in out
+    assert "supervisor restarts: 1" in out
+    assert "pk_enc stable across restart (sealed key): True" in out
+    assert "(no re-attestation)" in out
+
+
+def test_demo_crash_rejects_unknown_point(capsys):
+    assert main(["demo-crash", "--point", "not.a.point"]) == 2
+    assert "unknown crashpoint" in capsys.readouterr().err
 
 
 def test_metrics_text(capsys):
