@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench lint selftest check metrics proptest chaos
+.PHONY: test bench lint selftest check metrics proptest chaos fleet-bench fleet-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -22,10 +22,21 @@ proptest:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/fault -q
 
-check: lint test chaos
+check: lint test chaos fleet-smoke
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fleet-scaling benchmark (benchmarks/test_fleet_scaling.py): modeled
+# query throughput vs replica count, plus the warm verified-answer
+# cache doing zero round trips.  REPRO_FLEET_QUERIES=n sizes the query
+# batch (default 24); REPRO_BENCH_OUT=dir persists records as JSON.
+fleet-bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_fleet_scaling.py -q -s
+
+# The same sweep at a tiny batch size, as a smoke tier for `make check`.
+fleet-smoke:
+	REPRO_FLEET_QUERIES=8 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_fleet_scaling.py -q
 
 lint:
 	bash scripts/lint.sh

@@ -149,9 +149,18 @@ def main() -> None:
     injector.set_link("sp1", "client", LinkFaults(drop_rate=1.0))
     injector.set_link("client", "sp2", LinkFaults(drop_rate=1.0))
     injector.set_link("sp2", "client", LinkFaults(drop_rate=1.0))
+    # The answer that just verified is cached under (request, certified
+    # root), so repeating the query is served locally — zero round trips
+    # even with every SP unreachable.
+    calls_before = client.rpc.calls
+    cached = client.query(request)
+    assert cached == answer and client.rpc.calls == calls_before
+    print("  warm cache hit: the verified answer is served locally, 0 RPCs")
+    # A query the cache has never verified must fail — with bounded work.
+    fresh = HistoryQuery(index="history", account="acct1", t_from=1, t_to=1)
     before_ms = bus.clock_ms
     try:
-        client.query(request)
+        client.query(fresh)
         raise AssertionError("query should not succeed with every SP dark")
     except ServiceUnavailableError as exc:
         print(f"  bounded failure after retrying every endpoint: {exc}")

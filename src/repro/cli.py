@@ -9,6 +9,11 @@ Commands:
   remote superlight client bootstraps and queries two Service
   Providers over RPC while a fault injector drops messages to the
   first one.
+* ``demo-fleet`` — scaling demonstration: a remote client serves a
+  query batch through a load-balanced fleet of Service Provider
+  replicas behind a :class:`repro.net.gateway.QueryGateway`, repeats
+  it warm from the verified-answer cache, then survives a replica
+  kill and watches the probe path readmit it.
 * ``demo-crash`` — crash-safety demonstration: a durable issuer is
   killed at a chosen crashpoint mid-``certify_range``, its supervisor
   restores it from the write-ahead archive (sealed checkpoint + WAL
@@ -226,6 +231,117 @@ def cmd_demo_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_world(blocks: int, replicas: int, service_ms: float,
+                 balancer: str, seed: int):
+    """A load-balanced SP fleet behind a QueryGateway: one CI, N
+    busy-worker QueryService replicas, one remote superlight client
+    with a verified-answer cache."""
+    from repro.chain.genesis import make_genesis
+    from repro.core import (
+        IssuerService,
+        RemoteSuperlightClient,
+        compute_expected_measurement,
+    )
+    from repro.net import (
+        HealthPolicy,
+        MessageBus,
+        QueryGateway,
+        RetryPolicy,
+    )
+    from repro.query import QueryService, QueryServiceProvider
+
+    builder, issuer, ias, spec, genesis, vm = _build_world(blocks=blocks)
+    sp_genesis, sp_state = make_genesis(network="cli")
+    provider = QueryServiceProvider(
+        sp_genesis, sp_state, _fresh_vm(), builder.pow, [spec]
+    )
+    for block in builder.blocks[1:]:
+        provider.ingest_block(block)
+
+    bus = MessageBus(default_latency_ms=10.0)
+    IssuerService(bus, "ci", issuer)
+    names = [f"sp{i + 1}" for i in range(replicas)]
+    services = {
+        name: QueryService(bus, name, provider, service_time_ms=service_ms)
+        for name in names
+    }
+    gateway = QueryGateway(
+        bus, "gw", names,
+        balancer=balancer, seed=seed,
+        policy=RetryPolicy(timeout_ms=service_ms * 40 + 1_000.0,
+                           max_attempts=1),
+        health=HealthPolicy(failure_threshold=1, probe_base_ms=200.0),
+    )
+    measurement = compute_expected_measurement(
+        genesis.header.header_hash(), ias.public_key, _fresh_vm(),
+        builder.pow.difficulty_bits, {spec.name: spec},
+    )
+    client = RemoteSuperlightClient(
+        bus, "client", measurement, ias.public_key,
+        issuers=["ci"], gateway=gateway,
+    )
+    return builder, bus, services, gateway, client
+
+
+def cmd_demo_fleet(args: argparse.Namespace) -> int:
+    from repro.query import HistoryQuery
+
+    print(f"Mining and certifying {args.blocks} blocks...")
+    builder, bus, services, gateway, client = _fleet_world(
+        args.blocks, args.replicas, args.service_ms, args.balancer, args.seed
+    )
+    client.bootstrap()
+    print(f"Remote client adopted the certified tip at height "
+          f"{client.latest_header.height}; gateway fronts "
+          f"{args.replicas} replicas ({args.balancer}, "
+          f"{args.service_ms:.0f} ms modeled service time).")
+
+    requests = [
+        HistoryQuery(index="history", account=f"acct{i % 4}",
+                     t_from=1, t_to=1 + i % builder.height)
+        for i in range(args.queries)
+    ]
+    started = bus.clock_ms
+    client.query_many(requests)
+    elapsed = bus.clock_ms - started
+    served = {name: s.server.requests_served for name, s in services.items()}
+    print(f"\nServed {args.queries} verified queries in {elapsed:.0f} virtual "
+          f"ms ({args.queries / (elapsed / 1000.0):.1f} modeled q/s)")
+    print(f"  per-replica load: {served}")
+
+    calls_before = client.rpc.calls + gateway.rpc.calls
+    client.query_many(requests)
+    print(f"Repeated the batch warm: {client.cache.hits} cache hits, "
+          f"{client.rpc.calls + gateway.rpc.calls - calls_before} new RPC "
+          f"round trips.")
+
+    victim = next(iter(services))
+    services[victim].server.paused = True
+    fresh = [
+        HistoryQuery(index="history", account=f"acct{i % 4}",
+                     t_from=2, t_to=max(2, 1 + i % builder.height))
+        for i in range(args.replicas * 2)
+    ]
+    for request in fresh:
+        client.query(request)
+    print(f"\nKilled {victim}: fleet failed over "
+          f"({gateway.failovers} failovers), healthy replicas now "
+          f"{gateway.healthy_replicas()}")
+    services[victim].server.paused = False
+    bus.run_for(500.0)
+    for i in range(args.replicas * 3):
+        client.query(HistoryQuery(index="history", account=f"acct{i % 4}",
+                                  t_from=3,
+                                  t_to=max(3, 1 + i % builder.height)))
+    back = victim in gateway.healthy_replicas()
+    print(f"Restarted {victim}: probe readmitted it: {back}")
+    print(f"  totals — dispatches: {gateway.rpc.calls}, "
+          f"timeouts: {gateway.rpc.timeouts}, "
+          f"replica switches verified: {gateway.switches}, "
+          f"cache hits/misses: {client.cache.hits}/{client.cache.misses}")
+    return 0 if back else 1
+
+
 def cmd_demo_crash(args: argparse.Namespace) -> int:
     import tempfile
     from pathlib import Path
@@ -420,9 +536,14 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
     with obs.observability():
         obs.registry().reset()
-        builder, bus, injector, client = _network_world(
-            args.blocks, args.drop, args.seed
-        )
+        if args.replicas > 0:
+            builder, bus, _services, _gateway, client = _fleet_world(
+                args.blocks, args.replicas, 25.0, "round-robin", args.seed
+            )
+        else:
+            builder, bus, injector, client = _network_world(
+                args.blocks, args.drop, args.seed
+            )
         obs.set_virtual_clock(lambda: bus.clock_ms)
         try:
             client.bootstrap()
@@ -430,6 +551,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
                 index="history", account="acct1", t_from=1, t_to=builder.height
             )
             client.query(request)
+            client.query(request)  # the warm path: a cache hit
             snapshot = obs.registry().snapshot()
         finally:
             obs.set_virtual_clock(None)
@@ -497,6 +619,23 @@ def main(argv: list[str] | None = None) -> int:
         "--hit", type=int, default=1,
         help="fire on the n-th arrival at the crashpoint (default 1)",
     )
+    fleet = subparsers.add_parser(
+        "demo-fleet",
+        help="load-balanced SP fleet behind the query gateway: scaling, "
+             "cached hits, failover, probe recovery",
+    )
+    fleet.add_argument("--blocks", type=int, default=8)
+    fleet.add_argument("--replicas", type=int, default=3)
+    fleet.add_argument("--queries", type=int, default=12)
+    fleet.add_argument(
+        "--service-ms", type=float, default=25.0, dest="service_ms",
+        help="modeled per-query service time per replica (default 25)",
+    )
+    fleet.add_argument(
+        "--balancer", default="round-robin",
+        choices=["round-robin", "least-outstanding", "seeded-random"],
+    )
+    fleet.add_argument("--seed", type=int, default=7)
     subparsers.add_parser("selftest", help="fast certification round trip")
     metrics = subparsers.add_parser(
         "metrics",
@@ -509,6 +648,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     metrics.add_argument("--seed", type=int, default=7)
     metrics.add_argument(
+        "--replicas", type=int, default=0,
+        help="run the workload against a gateway-fronted fleet of this "
+             "many replicas instead of the two-SP demo (default 0 = off)",
+    )
+    metrics.add_argument(
         "--json", action="store_true",
         help="emit the raw metrics snapshot as JSON",
     )
@@ -517,6 +661,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "demo": cmd_demo,
         "demo-network": cmd_demo_network,
+        "demo-fleet": cmd_demo_fleet,
         "demo-crash": cmd_demo_crash,
         "selftest": cmd_selftest,
         "metrics": cmd_metrics,

@@ -13,8 +13,6 @@ the SP's proofs against those roots.
 
 from __future__ import annotations
 
-import warnings
-
 from repro import obs
 from repro.chain.block import BlockHeader
 from repro.core.certificate import CERT_SIG_DOMAIN, Certificate
@@ -22,21 +20,6 @@ from repro.core.digest import block_digest, index_digest
 from repro.crypto import PublicKey, verify
 from repro.crypto.hashing import Digest
 from repro.errors import CertificateError
-from repro.query.indexes import (
-    AggregateAnswer,
-    ValueRangeAnswer,
-    HistoryAnswer,
-    KeywordAnswer,
-)
-
-
-def _deprecated_verify(old: str, family: str) -> None:
-    warnings.warn(
-        f"SuperlightClient.{old} is deprecated; use "
-        f"verify_answer(request, answer) with a {family} request",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 class SuperlightClient:
@@ -119,62 +102,10 @@ class SuperlightClient:
         obs.inc("client.verify_ok" if ok else "client.verify_failed")
         return ok
 
-    # -- deprecated per-type verification wrappers --------------------------
-    #
-    # Each builds the typed request the bare payload claims to answer
-    # and delegates to verify_answer: the echo check is then trivially
-    # satisfied and the payload's own claims + proofs are verified
-    # against the certified root, exactly as before.
-
-    def verify_history(self, name: str, answer: HistoryAnswer) -> bool:
-        """Deprecated: use ``verify_answer`` with a ``HistoryQuery``."""
-        from repro.query.api import HistoryQuery, QueryAnswer
-
-        _deprecated_verify("verify_history", "HistoryQuery")
-        request = HistoryQuery(
-            index=name,
-            account=answer.account,
-            t_from=answer.t_from,
-            t_to=answer.t_to,
-        )
-        return self.verify_answer(
-            request, QueryAnswer(request=request, payload=answer)
-        )
-
-    def verify_keyword(self, name: str, answer: KeywordAnswer) -> bool:
-        """Deprecated: use ``verify_answer`` with a ``KeywordQuery``."""
-        from repro.query.api import KeywordQuery, QueryAnswer
-
-        _deprecated_verify("verify_keyword", "KeywordQuery")
-        request = KeywordQuery(index=name, keywords=tuple(answer.keywords))
-        return self.verify_answer(
-            request, QueryAnswer(request=request, payload=answer)
-        )
-
-    def verify_aggregate(self, name: str, answer: AggregateAnswer) -> bool:
-        """Deprecated: use ``verify_answer`` with an ``AggregateQuery``."""
-        from repro.query.api import AggregateQuery, QueryAnswer
-
-        _deprecated_verify("verify_aggregate", "AggregateQuery")
-        request = AggregateQuery(
-            index=name,
-            account=answer.account,
-            t_from=answer.t_from,
-            t_to=answer.t_to,
-        )
-        return self.verify_answer(
-            request, QueryAnswer(request=request, payload=answer)
-        )
-
-    def verify_value_range(self, name: str, answer: ValueRangeAnswer) -> bool:
-        """Deprecated: use ``verify_answer`` with a ``ValueRangeQuery``."""
-        from repro.query.api import QueryAnswer, ValueRangeQuery
-
-        _deprecated_verify("verify_value_range", "ValueRangeQuery")
-        request = ValueRangeQuery(index=name, lo=answer.lo, hi=answer.hi)
-        return self.verify_answer(
-            request, QueryAnswer(request=request, payload=answer)
-        )
+    # The per-type ``verify_history``/``verify_keyword``/``verify_aggregate``
+    # /``verify_value_range`` wrappers that predated the typed query API
+    # were removed in PR 5; ``verify_answer`` is the only verification
+    # entry point.  Accessing the old names raises ``AttributeError``.
 
     # -- persistence ---------------------------------------------------------------
 
@@ -319,6 +250,15 @@ class RemoteSuperlightClient:
       to the next endpoint, and raises
       :class:`~repro.errors.ServiceUnavailableError` only once every
       endpoint is exhausted (bounded work, no hanging).
+
+    Queries can be served two ways: a plain ``providers`` list (tried
+    in order, as in PR 3) or a :class:`repro.net.gateway.QueryGateway`
+    fronting a replica fleet — pass exactly one of them.  With a
+    gateway the client wires its root re-verification in as the
+    gateway's ``verify_switch`` hook, gets the pipelined
+    :meth:`query_many` path, and keeps a :class:`repro.query
+    .answercache.VerifiedAnswerCache` of answers that already verified
+    at the current certified roots (a warm hit costs zero round trips).
     """
 
     def __init__(
@@ -329,20 +269,32 @@ class RemoteSuperlightClient:
         ias_public_key: PublicKey,
         *,
         issuers: list[str],
-        providers: list[str],
+        providers: list[str] | None = None,
+        gateway=None,
         policy=None,
         integrity_retries: int = 2,
+        cache_capacity: int = 128,
     ) -> None:
         from repro.net.rpc import RetryPolicy, RpcClient
+        from repro.query.answercache import VerifiedAnswerCache
 
-        if not issuers or not providers:
+        if not issuers:
+            raise CertificateError("a remote client needs at least one issuer")
+        if (gateway is None) == (not providers):
             raise CertificateError(
-                "a remote client needs at least one issuer and one provider"
+                "a remote client needs either a provider list or a "
+                "query gateway (exactly one)"
             )
         self.client = SuperlightClient(expected_measurement, ias_public_key)
         self.rpc = RpcClient(bus, name, policy or RetryPolicy())
         self.issuers = list(issuers)
-        self.providers = list(providers)
+        self.providers = list(providers or [])
+        self.gateway = gateway
+        if gateway is not None and gateway.verify_switch is None:
+            gateway.verify_switch = self._verify_replica_roots
+        self.cache = (
+            VerifiedAnswerCache(cache_capacity) if cache_capacity else None
+        )
         self.integrity_retries = integrity_retries
         self.failovers = 0
         self.integrity_failures = 0
@@ -401,23 +353,114 @@ class RemoteSuperlightClient:
                         f"verification: {exc}"
                     )
                     continue
+                self._roots_advanced()
                 return tip
             self.failovers += 1
         raise ServiceUnavailableError(
             "no issuer returned a verifiable certified tip"
         ) from last_error
 
+    def _roots_advanced(self) -> None:
+        """Housekeeping after adopting a certified tip: sweep cache
+        entries verified under superseded roots, and make the gateway
+        re-verify replicas against the new roots on the next switch."""
+        if self.cache is not None:
+            self.cache.retain_roots(
+                root for _height, root in self.client._index_roots.values()
+            )
+        if self.gateway is not None:
+            self.gateway.reset_verified()
+
     # -- queries ------------------------------------------------------------
 
     def query(self, request):
         """Run one typed query, verifying the answer before returning.
 
-        Tries each provider in order; per provider, an unverifiable
-        answer is retried ``integrity_retries`` times (the fault may be
-        transient line corruption) before failing over.  Raises
-        :class:`~repro.errors.ServiceUnavailableError` when no provider
-        yields a verifiable answer.
+        A warm answer-cache hit (same canonical request, same certified
+        root) returns immediately with zero RPC round trips.  Otherwise
+        the request goes to the gateway (health-aware failover across
+        the fleet) or down the provider list; per endpoint, an
+        unverifiable answer is retried ``integrity_retries`` times (the
+        fault may be transient line corruption) before failing over.
+        Raises :class:`~repro.errors.ServiceUnavailableError` when no
+        endpoint yields a verifiable answer.
         """
+        cached = self._cache_get(request)
+        if cached is not None:
+            return cached
+        if self.gateway is not None:
+            answer = self._query_gateway(request)
+        else:
+            answer = self._query_providers(request)
+        self._cache_put(request, answer)
+        return answer
+
+    def query_many(self, requests):
+        """Run a batch of typed queries, pipelined across the fleet.
+
+        Requires a gateway (the provider-list transport has no
+        pipelined path).  Cache hits are answered locally; the misses
+        are dispatched concurrently, so a fleet of N busy replicas
+        drains them ~N× faster than one.  Every answer is verified
+        before it is returned or cached; an unverifiable answer raises
+        :class:`~repro.errors.ResponseIntegrityError`.
+        """
+        from repro.errors import ResponseIntegrityError
+        from repro.query.api import QueryAnswer
+
+        if self.gateway is None:
+            return [self.query(request) for request in requests]
+        requests = list(requests)
+        results: list[object] = [None] * len(requests)
+        misses: list[int] = []
+        for position, request in enumerate(requests):
+            cached = self._cache_get(request)
+            if cached is not None:
+                results[position] = cached
+            else:
+                misses.append(position)
+        if misses:
+            answers = self.gateway.call_many(
+                "execute", [requests[position] for position in misses]
+            )
+            for position, answer in zip(misses, answers):
+                request = requests[position]
+                if not (
+                    isinstance(answer, QueryAnswer)
+                    and self.client.verify_answer(request, answer)
+                ):
+                    self.integrity_failures += 1
+                    raise ResponseIntegrityError(
+                        f"fleet answer to {type(request).__name__} failed "
+                        "verification against the certified index roots"
+                    )
+                self._cache_put(request, answer)
+                results[position] = answer
+        return results
+
+    def _query_gateway(self, request):
+        """One query via the gateway, re-verifying until it checks out."""
+        from repro.errors import ResponseIntegrityError, ServiceUnavailableError
+        from repro.query.api import QueryAnswer
+
+        last_error: Exception | None = None
+        for _attempt in range(max(1, self.integrity_retries)):
+            answer = self.gateway.call("execute", request)
+            if isinstance(answer, QueryAnswer) and self.client.verify_answer(
+                request, answer
+            ):
+                return answer
+            self.integrity_failures += 1
+            last_error = ResponseIntegrityError(
+                f"fleet answer to {type(request).__name__} failed "
+                "verification against the certified index roots"
+            )
+        raise ServiceUnavailableError(
+            f"no replica returned a verifiable answer to "
+            f"{type(request).__name__}"
+        ) from last_error
+
+    def _query_providers(self, request):
         from repro.errors import (
             NetworkError,
             ResponseIntegrityError,
@@ -451,6 +494,47 @@ class RemoteSuperlightClient:
             f"no provider returned a verifiable answer to "
             f"{type(request).__name__}"
         ) from last_error
+
+    # -- the verified-answer cache ------------------------------------------
+
+    def _certified_root_or_none(self, request) -> Digest | None:
+        try:
+            return self.client.certified_index_root(request.index)
+        except (AttributeError, CertificateError):
+            return None
+
+    def _cache_get(self, request):
+        if self.cache is None:
+            return None
+        root = self._certified_root_or_none(request)
+        if root is None:
+            return None
+        return self.cache.get(request, root)
+
+    def _cache_put(self, request, answer) -> None:
+        if self.cache is None:
+            return
+        root = self._certified_root_or_none(request)
+        if root is not None:
+            self.cache.put(request, root, answer)
+
+    # -- replica switch verification ----------------------------------------
+
+    def _verify_replica_roots(self, replica: str) -> None:
+        """The gateway's ``verify_switch`` hook: before trusting a new
+        replica, check that the index roots it serves match the
+        client's certified ones.  (Answers are verified individually
+        anyway; this catches a stale or lying replica *before* queries
+        are routed at it.)"""
+        from repro.errors import ResponseIntegrityError
+
+        for name, (_height, certified) in self.client._index_roots.items():
+            served = self.gateway.call_on(replica, "index_root", name)
+            if served != certified:
+                raise ResponseIntegrityError(
+                    f"replica {replica!r} serves index {name!r} at a root "
+                    "that does not match the certified one"
+                )
 
     # -- delegation (the LightClient surface) -------------------------------
 

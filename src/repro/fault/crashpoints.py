@@ -74,6 +74,9 @@ CATALOG: tuple[str, ...] = (
     # durable issuer (repro.core.recovery).
     "durable.append.pre_wal",    # certificate issued, WAL record not yet written
     "durable.checkpoint.pre_seal",  # checkpoint capture about to start
+    # query service (repro.query.provider.QueryService).
+    "query.execute.pre",         # request decoded, processing not started
+    "query.execute.post",        # answer computed, reply not yet sent
 )
 
 _KNOWN = frozenset(CATALOG)

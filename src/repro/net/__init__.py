@@ -16,26 +16,52 @@ deterministically and without sockets:
 * :mod:`faults` — per-link drop/delay/duplicate/corrupt injection with
   a seeded RNG, for failure-path tests and demos.
 * :mod:`messages` — broadcast message types (blocks, certificates).
+* :mod:`gateway` — load-balanced routing over a fleet of QueryService
+  replicas: balancing policies, per-replica health with probe-based
+  recovery, failover with switch re-verification.
+* :mod:`supervisor` — crash detection + bounded-backoff restart for any
+  RPC-fronted service (issuer or query replica).
 """
 
 from repro.net.bus import MessageBus, NetworkNode
 from repro.net.faults import FaultInjector, LinkFaults
+from repro.net.gateway import (
+    HealthPolicy,
+    LeastOutstanding,
+    QueryGateway,
+    ReplicaState,
+    RoundRobin,
+    SeededRandom,
+    make_balancer,
+)
 from repro.net.messages import BlockAnnouncement, CertificateAnnouncement
 from repro.net.rpc import RetryPolicy, RpcClient, RpcRequest, RpcResponse, RpcServer
-from repro.net.supervisor import IssuerSupervisor, RestartPolicy
+from repro.net.supervisor import (
+    IssuerSupervisor,
+    RestartPolicy,
+    ServiceSupervisor,
+)
 
 __all__ = [
     "BlockAnnouncement",
     "CertificateAnnouncement",
     "FaultInjector",
+    "HealthPolicy",
     "IssuerSupervisor",
+    "LeastOutstanding",
     "LinkFaults",
     "MessageBus",
     "NetworkNode",
+    "QueryGateway",
+    "ReplicaState",
     "RestartPolicy",
     "RetryPolicy",
+    "RoundRobin",
     "RpcClient",
     "RpcRequest",
     "RpcResponse",
     "RpcServer",
+    "SeededRandom",
+    "ServiceSupervisor",
+    "make_balancer",
 ]

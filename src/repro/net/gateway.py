@@ -1,0 +1,493 @@
+"""Load-balanced gateway over a fleet of QueryService replicas.
+
+DCert's core economy — certificates make any answer self-certifying on
+the client — means the serving side replicates freely: no replica needs
+to be trusted, so the only questions a serving tier has to answer are
+*which replica* (load balancing) and *is it alive* (health).  This
+module supplies both on the deterministic virtual-clock bus:
+
+* **Balancing policies** — :class:`RoundRobin`, :class:`LeastOutstanding`
+  and :class:`SeededRandom`, behind one ``pick(candidates)`` interface
+  (:func:`make_balancer` resolves a policy by name for CLI/config use).
+* **Health tracking** — :class:`ReplicaState` counts consecutive
+  failures; past :class:`HealthPolicy.failure_threshold` the replica
+  leaves the rotation and is re-admitted only through bounded-backoff
+  *probes*: a due probe routes one real request at the suspect, success
+  restores it, failure pushes the next probe further out.  This is
+  driven purely by observed RPC behaviour, so anything the fault layer
+  does (drops, delays, a supervisor pausing a crashed endpoint) shows
+  up as failures and anything a supervisor restores shows up as a probe
+  success.
+* **Failover with re-verification** — when a call lands on a different
+  replica than the previous one, the gateway first invokes the caller's
+  ``verify_switch`` hook (the superlight client re-checks the new
+  replica's index roots against its certified ones).  A replica that
+  fails verification is treated exactly like a dead one: marked
+  unhealthy and routed around.
+
+Per-replica bookkeeping is bounded: the in-flight map is capped at
+``outstanding_limit`` entries (oldest evicted), the same discipline as
+``NetworkNode.received``, so week-long chaos runs cannot grow memory.
+
+:meth:`QueryGateway.call` is the sequential path (one request, bounded
+failover).  :meth:`QueryGateway.call_many` is the pipelined path: it
+keeps every eligible replica's pipe full and lets the fleet drain a
+burst concurrently — with the :class:`~repro.net.rpc.RpcServer`
+busy-worker model, M queries over N replicas complete in ~M/N service
+times, which is the scaling curve ``benchmarks/test_fleet_scaling.py``
+measures.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro import obs
+from repro.errors import (
+    ReproError,
+    ResponseIntegrityError,
+    RpcTimeoutError,
+    ServiceUnavailableError,
+)
+from repro.net.bus import MessageBus
+from repro.net.rpc import RetryPolicy, RpcClient
+
+
+@dataclass(frozen=True, slots=True)
+class HealthPolicy:
+    """When a replica leaves the rotation and how probing re-admits it."""
+
+    #: Consecutive failures that eject a replica from the rotation.
+    failure_threshold: int = 2
+    #: Backoff schedule between probes of an unhealthy replica.
+    probe_base_ms: float = 200.0
+    probe_factor: float = 2.0
+    probe_max_ms: float = 5_000.0
+
+    def probe_delay_ms(self, attempt: int) -> float:
+        """Delay before the ``attempt``-th probe (0-based)."""
+        return min(
+            self.probe_base_ms * self.probe_factor**attempt,
+            self.probe_max_ms,
+        )
+
+
+class ReplicaState:
+    """Everything the gateway knows about one replica endpoint."""
+
+    def __init__(self, name: str, *, outstanding_limit: int = 256) -> None:
+        self.name = name
+        self.healthy = True
+        self.consecutive_failures = 0
+        self.probe_attempt = 0
+        self.next_probe_ms = 0.0
+        #: request_id -> dispatch virtual time; bounded like
+        #: ``NetworkNode.received`` so chaos runs cannot grow memory.
+        self.inflight: OrderedDict[int, float] = OrderedDict()
+        self.outstanding_limit = outstanding_limit
+        self.dispatched = 0
+        self.answered = 0
+        self.failures = 0
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.inflight)
+
+    def track(self, request_id: int, now_ms: float) -> None:
+        self.dispatched += 1
+        self.inflight[request_id] = now_ms
+        while len(self.inflight) > self.outstanding_limit:
+            self.inflight.popitem(last=False)
+
+    def settle(self, request_id: int) -> None:
+        self.inflight.pop(request_id, None)
+
+    def eligible(self, now_ms: float) -> bool:
+        """In rotation, or unhealthy with a probe due."""
+        return self.healthy or now_ms >= self.next_probe_ms
+
+
+# -- balancing policies -------------------------------------------------------
+
+
+class RoundRobin:
+    """Cycle through candidates in a stable order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._turn = 0
+
+    def pick(self, candidates: Sequence[ReplicaState]) -> ReplicaState:
+        choice = candidates[self._turn % len(candidates)]
+        self._turn += 1
+        return choice
+
+
+class LeastOutstanding:
+    """Prefer the replica with the fewest requests in flight."""
+
+    name = "least-outstanding"
+
+    def pick(self, candidates: Sequence[ReplicaState]) -> ReplicaState:
+        return min(candidates, key=lambda state: state.outstanding)
+
+
+class SeededRandom:
+    """Uniform random choice from a deterministic seeded stream."""
+
+    name = "seeded-random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def pick(self, candidates: Sequence[ReplicaState]) -> ReplicaState:
+        return self._rng.choice(list(candidates))
+
+
+BALANCERS = {
+    RoundRobin.name: RoundRobin,
+    LeastOutstanding.name: LeastOutstanding,
+    SeededRandom.name: SeededRandom,
+}
+
+
+def make_balancer(policy: str, *, seed: int = 0):
+    """Resolve a balancing policy by name (CLI/config entry point)."""
+    try:
+        cls = BALANCERS[policy]
+    except KeyError:
+        known = ", ".join(sorted(BALANCERS))
+        raise ValueError(
+            f"unknown balancing policy {policy!r} (known: {known})"
+        ) from None
+    return cls(seed) if cls is SeededRandom else cls()
+
+
+# -- the gateway --------------------------------------------------------------
+
+
+class QueryGateway:
+    """Routes calls across a replica fleet with health-aware failover.
+
+    ``verify_switch(replica_name)`` — optional hook invoked before the
+    first call to a replica the gateway was not previously using; it
+    should raise (typically :class:`ResponseIntegrityError`) if the new
+    replica cannot be verified, in which case the gateway marks it
+    unhealthy and fails over again.  The superlight client uses this to
+    re-check index roots against its certified ones on every switch.
+    """
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        name: str,
+        replicas: Sequence[str],
+        *,
+        balancer: str | object = "round-robin",
+        seed: int = 0,
+        policy: RetryPolicy | None = None,
+        health: HealthPolicy | None = None,
+        verify_switch: Callable[[str], None] | None = None,
+        outstanding_limit: int = 256,
+    ) -> None:
+        if not replicas:
+            raise ValueError("a gateway needs at least one replica")
+        self.bus = bus
+        self.rpc = RpcClient(
+            bus,
+            name,
+            policy
+            or RetryPolicy(
+                timeout_ms=250.0, max_attempts=1, backoff_base_ms=25.0
+            ),
+        )
+        self.health = health or HealthPolicy()
+        self.verify_switch = verify_switch
+        self.replicas: dict[str, ReplicaState] = {
+            replica: ReplicaState(
+                replica, outstanding_limit=outstanding_limit
+            )
+            for replica in replicas
+        }
+        self.balancer = (
+            make_balancer(balancer, seed=seed)
+            if isinstance(balancer, str)
+            else balancer
+        )
+        #: The replica the previous successful call used; a change
+        #: triggers ``verify_switch``.
+        self.current: str | None = None
+        #: Replicas verified by ``verify_switch`` since the last
+        #: :meth:`reset_verified` (certified roots advanced).
+        self._verified: set[str] = set()
+        self.failovers = 0
+        self.switches = 0
+
+    # -- health bookkeeping --------------------------------------------------
+
+    def healthy_replicas(self) -> list[str]:
+        return [s.name for s in self.replicas.values() if s.healthy]
+
+    def _mark_success(self, state: ReplicaState) -> None:
+        state.answered += 1
+        state.consecutive_failures = 0
+        if not state.healthy:
+            state.healthy = True
+            state.probe_attempt = 0
+            obs.inc("gateway.replica_restored")
+        obs.set_gauge("gateway.replicas_healthy", len(self.healthy_replicas()))
+
+    def _mark_failure(self, state: ReplicaState) -> None:
+        state.failures += 1
+        state.consecutive_failures += 1
+        if state.healthy:
+            if state.consecutive_failures >= self.health.failure_threshold:
+                state.healthy = False
+                state.probe_attempt = 0
+                state.next_probe_ms = (
+                    self.bus.clock_ms + self.health.probe_delay_ms(0)
+                )
+                obs.inc("gateway.replica_ejected")
+        else:
+            # A failed probe: push the next one further out.
+            state.probe_attempt += 1
+            state.next_probe_ms = self.bus.clock_ms + self.health.probe_delay_ms(
+                state.probe_attempt
+            )
+            obs.inc("gateway.probe_failures")
+        obs.set_gauge("gateway.replicas_healthy", len(self.healthy_replicas()))
+
+    def _candidates(self) -> list[ReplicaState]:
+        now = self.bus.clock_ms
+        return [s for s in self.replicas.values() if s.eligible(now)]
+
+    def _wait_for_probe_window(self) -> bool:
+        """No replica is eligible: advance time to the earliest probe.
+
+        Returns False if there is nothing to wait for (cannot happen
+        with a non-empty fleet, defensively handled anyway).
+        """
+        pending = [s.next_probe_ms for s in self.replicas.values() if not s.healthy]
+        if not pending:
+            return False
+        # Deliver any in-flight traffic on the way to the probe window.
+        self.bus.run_for(max(0.0, min(pending) - self.bus.clock_ms))
+        return True
+
+    # -- switch verification -------------------------------------------------
+
+    def reset_verified(self) -> None:
+        """Forget switch verifications (call when certified roots move)."""
+        self._verified.clear()
+
+    def _ensure_verified(self, state: ReplicaState) -> bool:
+        """Run ``verify_switch`` if this replica needs (re-)verification.
+
+        Returns True when the replica is safe to use.  A verification
+        failure marks it unhealthy, exactly like a transport failure —
+        an unverifiable replica and a dead one get the same treatment.
+        """
+        if self.verify_switch is None:
+            return True
+        if state.name == self.current or state.name in self._verified:
+            return True
+        try:
+            self.verify_switch(state.name)
+        except ReproError:
+            obs.inc("gateway.switch_verify_failures")
+            self._mark_failure(state)
+            return False
+        self._verified.add(state.name)
+        self.switches += 1
+        obs.inc("gateway.switches_verified")
+        return True
+
+    # -- the sequential path -------------------------------------------------
+
+    def call_on(self, replica: str, method: str, argument: object = None):
+        """One direct call to a named replica — no failover, no switch
+        hook.  The switch-verification callback itself uses this."""
+        return self.rpc.call(replica, method, argument)
+
+    def call(
+        self,
+        method: str,
+        argument: object = None,
+        *,
+        max_dispatches: int | None = None,
+    ) -> object:
+        """Call ``method`` on the fleet; fail over until a replica
+        answers or the dispatch budget is spent.
+
+        Raises the remote error unchanged when it is terminal (not
+        retryable — a bad query is bad on every replica), and
+        :class:`ServiceUnavailableError` when every candidate failed
+        within the budget.
+        """
+        budget = max_dispatches or max(3, 2 * len(self.replicas))
+        last_error: ReproError | None = None
+        for _ in range(budget):
+            candidates = self._candidates()
+            if not candidates:
+                if not self._wait_for_probe_window():
+                    break
+                candidates = self._candidates()
+                if not candidates:
+                    continue
+            state = self.balancer.pick(candidates)
+            if not self._ensure_verified(state):
+                last_error = ResponseIntegrityError(
+                    f"replica {state.name!r} failed switch verification"
+                )
+                continue
+            probing = not state.healthy
+            if probing:
+                obs.inc("gateway.probes")
+            try:
+                result = self.rpc.call(state.name, method, argument)
+            except (RpcTimeoutError, ResponseIntegrityError) as exc:
+                last_error = exc
+                self._mark_failure(state)
+                self.failovers += 1
+                obs.inc("gateway.failovers")
+                continue
+            except ReproError as exc:
+                if exc.retryable:
+                    last_error = exc
+                    self._mark_failure(state)
+                    self.failovers += 1
+                    obs.inc("gateway.failovers")
+                    continue
+                # Terminal: retrying elsewhere cannot change the outcome.
+                raise
+            self._mark_success(state)
+            self.current = state.name
+            return result
+        raise ServiceUnavailableError(
+            f"no replica answered {method!r} within {budget} dispatches"
+            + (f" (last: {last_error})" if last_error else "")
+        )
+
+    # -- the pipelined path --------------------------------------------------
+
+    def call_many(
+        self,
+        method: str,
+        arguments: Sequence[object],
+        *,
+        timeout_ms: float | None = None,
+        max_dispatches_per_item: int = 4,
+    ) -> list[object]:
+        """Dispatch every argument concurrently across the fleet.
+
+        Results come back in argument order.  Each item gets a bounded
+        number of dispatches (failing over between replicas); a
+        terminal remote error for any item is raised immediately.  With
+        busy-worker replicas this is the path that turns N replicas
+        into ~N× throughput.
+        """
+        timeout = timeout_ms or self.rpc.policy.timeout_ms
+        results: list[object] = [None] * len(arguments)
+        todo: list[tuple[int, int]] = [(i, 0) for i in range(len(arguments))]
+        # request_id -> (item index, dispatch count, replica, deadline)
+        pending: dict[int, tuple[int, int, ReplicaState, float]] = {}
+        done = 0
+        while done < len(arguments):
+            # Keep the pipes full: dispatch everything dispatchable.
+            still_waiting: list[tuple[int, int]] = []
+            for item, dispatches in todo:
+                if dispatches >= max_dispatches_per_item:
+                    raise ServiceUnavailableError(
+                        f"item {item} of {method!r} failed "
+                        f"{max_dispatches_per_item} dispatches"
+                    )
+                candidates = self._candidates()
+                if not candidates:
+                    still_waiting.append((item, dispatches))
+                    continue
+                state = self.balancer.pick(candidates)
+                if not self._ensure_verified(state):
+                    still_waiting.append((item, dispatches + 1))
+                    continue
+                if not state.healthy:
+                    obs.inc("gateway.probes")
+                request_id = self.rpc.begin(
+                    state.name, method, arguments[item]
+                )
+                state.track(request_id, self.bus.clock_ms)
+                pending[request_id] = (
+                    item,
+                    dispatches + 1,
+                    state,
+                    self.bus.clock_ms + timeout,
+                )
+            todo = still_waiting
+            if not pending:
+                if todo and not self._wait_for_probe_window():
+                    raise ServiceUnavailableError(
+                        f"no replica available for {method!r}"
+                    )
+                continue
+            # Drive the bus toward the earliest in-flight deadline, then
+            # settle whatever arrived and expire whatever did not.
+            horizon = min(entry[3] for entry in pending.values())
+            progressed = False
+            while self.bus.step(horizon):
+                progressed = True
+                if any(self.rpc.has_response(rid) for rid in pending):
+                    break
+            arrived = [
+                rid for rid in pending if self.rpc.has_response(rid)
+            ]
+            for rid in arrived:
+                item, dispatches, state, _ = pending.pop(rid)
+                state.settle(rid)
+                response = self.rpc.take(rid)
+                try:
+                    result = self.rpc.resolve(
+                        response, target=state.name, method=method
+                    )
+                except (RpcTimeoutError, ResponseIntegrityError) as exc:
+                    self._mark_failure(state)
+                    self.failovers += 1
+                    obs.inc("gateway.failovers")
+                    todo.append((item, dispatches))
+                    continue
+                except ReproError as exc:
+                    if exc.retryable:
+                        self._mark_failure(state)
+                        self.failovers += 1
+                        obs.inc("gateway.failovers")
+                        todo.append((item, dispatches))
+                        continue
+                    for other in pending:
+                        self.rpc.abandon(other)
+                    raise
+                self._mark_success(state)
+                self.current = state.name
+                results[item] = result
+                done += 1
+            if arrived:
+                continue
+            if not progressed:
+                self.bus.wait_until(horizon)
+            expired = [
+                rid
+                for rid, entry in pending.items()
+                if self.bus.clock_ms >= entry[3]
+            ]
+            for rid in expired:
+                item, dispatches, state, _ = pending.pop(rid)
+                state.settle(rid)
+                self.rpc.abandon(rid)
+                self.rpc.timeouts += 1
+                obs.inc("rpc.client.timeouts")
+                self._mark_failure(state)
+                self.failovers += 1
+                obs.inc("gateway.failovers")
+                todo.append((item, dispatches))
+        return results

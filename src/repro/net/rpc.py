@@ -62,12 +62,18 @@ class RpcRequest:
 
 @dataclass(frozen=True, slots=True)
 class RpcResponse:
-    """The reply envelope; ``payload`` encodes the result or the error."""
+    """The reply envelope; ``payload`` encodes the result or the error
+    message.  A failure reply carries the *typed* error code from the
+    :mod:`repro.errors` taxonomy in ``code`` (empty on success), so
+    callers — retry loops, the query gateway — can classify the failure
+    (retryable transport fault vs terminal verification error) without
+    parsing strings out of the payload."""
 
     request_id: int
     sender: str
     ok: bool
     payload: bytes
+    code: str = ""
 
     def corrupted(self, rng: random.Random) -> "RpcResponse":
         return replace(self, payload=flip_hex_digit(self.payload, rng))
@@ -101,14 +107,29 @@ class DropRequest(Exception):
 
 
 class RpcServer:
-    """A named service endpoint: method registry + envelope plumbing."""
+    """A named service endpoint: method registry + envelope plumbing.
 
-    def __init__(self, bus: MessageBus, name: str) -> None:
+    ``service_time_ms`` models the endpoint as a single-threaded worker:
+    each reply is emitted only after the server has *spent* that much
+    virtual time on the request, and requests arriving while it is busy
+    queue behind it.  That is what makes replica count matter on the
+    virtual clock — N replicas drain a query burst N times faster — and
+    it is what the fleet-scaling benchmark measures.  Zero (the
+    default) keeps the original instant-reply behaviour.
+    """
+
+    def __init__(
+        self, bus: MessageBus, name: str, *, service_time_ms: float = 0.0
+    ) -> None:
         self.bus = bus
         self.name = name
+        self.service_time_ms = service_time_ms
+        #: Virtual time until which this endpoint's worker is occupied.
+        self.busy_until_ms = 0.0
         self.node = bus.join(NetworkNode(name, record_limit=0))
         self.node.on(rpc_topic(name), self._handle)
         self._methods: dict[str, Handler] = {}
+        self._service_times: dict[str, float] = {}
         self.requests_served = 0
         self.requests_dropped = 0
         #: While True the endpoint behaves like a dead host: every
@@ -117,9 +138,22 @@ class RpcServer:
         #: does not allow leaving and rejoining under the same name).
         self.paused = False
 
-    def register(self, method: str, handler: Handler) -> None:
-        """Expose ``handler`` (decoded-payload -> result object)."""
+    def register(
+        self,
+        method: str,
+        handler: Handler,
+        *,
+        service_time_ms: float | None = None,
+    ) -> None:
+        """Expose ``handler`` (decoded-payload -> result object).
+
+        ``service_time_ms`` overrides the server-wide busy-worker cost
+        for this method alone — e.g. a query service charges its
+        ``execute`` path but answers cheap root lookups immediately.
+        """
         self._methods[method] = handler
+        if service_time_ms is not None:
+            self._service_times[method] = service_time_ms
 
     def _handle(self, message: object) -> None:
         if self.paused:
@@ -142,8 +176,8 @@ class RpcServer:
         handler = self._methods.get(message.method)
         if handler is None:
             self._reply(
-                message, ok=False,
-                error=("RemoteCallError", f"unknown method {message.method!r}"),
+                message,
+                error=RemoteCallError(f"unknown method {message.method!r}"),
             )
             return
         started = time.perf_counter()
@@ -155,9 +189,7 @@ class RpcServer:
             return
         except ReproError as exc:
             obs.inc(f"rpc.server.errors.{message.method}")
-            self._reply(
-                message, ok=False, error=(type(exc).__name__, str(exc))
-            )
+            self._reply(message, error=exc)
             return
         if obs.enabled():
             obs.inc(f"rpc.server.requests.{message.method}")
@@ -166,29 +198,47 @@ class RpcServer:
                 (time.perf_counter() - started) * 1000.0,
             )
         self.requests_served += 1
-        self._reply(message, ok=True, result=result)
+        self._reply(message, result=result)
 
     def _reply(
         self,
         request: RpcRequest,
         *,
-        ok: bool,
         result: object = None,
-        error: tuple[str, str] | None = None,
+        error: ReproError | None = None,
     ) -> None:
-        payload = wire.encode(result if ok else {"type": error[0], "message": error[1]})
+        from repro.errors import code_for
+
+        ok = error is None
+        payload = wire.encode(result if ok else str(error))
         obs.inc("rpc.server.bytes_sent", len(payload))
-        self.bus.send(
-            self.name,
-            request.sender,
-            rpc_topic(request.sender),
-            RpcResponse(
-                request_id=request.request_id,
-                sender=self.name,
-                ok=ok,
-                payload=payload,
-            ),
+        response = RpcResponse(
+            request_id=request.request_id,
+            sender=self.name,
+            ok=ok,
+            payload=payload,
+            code="" if ok else code_for(error),
         )
+
+        def send() -> None:
+            self.bus.send(
+                self.name, request.sender, rpc_topic(request.sender), response
+            )
+
+        service_ms = self._service_times.get(
+            request.method, self.service_time_ms
+        )
+        if service_ms <= 0.0:
+            send()
+            return
+        # Single-threaded worker: this request starts when the previous
+        # one finishes, and the reply leaves at completion time.
+        start_ms = max(self.bus.clock_ms, self.busy_until_ms)
+        self.busy_until_ms = start_ms + service_ms
+        obs.observe(
+            "rpc.server.queue_ms", start_ms - self.bus.clock_ms
+        )
+        self.bus.schedule(self.busy_until_ms - self.bus.clock_ms, send)
 
 
 class RpcClient:
@@ -205,6 +255,11 @@ class RpcClient:
         self._next_id = 1
         self._pending: set[int] = set()
         self._responses: dict[int, RpcResponse] = {}
+        #: Logical calls made (one per :meth:`call`, however many
+        #: attempts it took) plus one per :meth:`begin`.  The verified
+        #: answer cache's "zero round trips on a warm hit" claim is
+        #: asserted against this counter.
+        self.calls = 0
         self.timeouts = 0
         self.duplicates_ignored = 0
 
@@ -216,6 +271,64 @@ class RpcClient:
             return
         self._pending.discard(message.request_id)
         self._responses[message.request_id] = message
+
+    # -- non-blocking primitives (the gateway's pipelined dispatch) ----------
+
+    def begin(self, target: str, method: str, argument: object = None) -> int:
+        """Send one request without waiting; returns its request id.
+
+        Pair with :meth:`take` (poll for the raw response while driving
+        the bus yourself) and :meth:`resolve` (decode it or raise the
+        mapped error).  The caller owns timeout and retry policy.
+        """
+        self.calls += 1
+        obs.inc("rpc.client.calls")
+        return self._send(target, method, wire.encode(argument))
+
+    def _send(self, target: str, method: str, payload: bytes) -> int:
+        obs.inc("rpc.client.bytes_sent", len(payload))
+        request_id = self._next_id
+        self._next_id += 1
+        self._pending.add(request_id)
+        self.bus.send(
+            self.name,
+            target,
+            rpc_topic(target),
+            RpcRequest(
+                request_id=request_id,
+                sender=self.name,
+                method=method,
+                payload=payload,
+            ),
+        )
+        return request_id
+
+    def has_response(self, request_id: int) -> bool:
+        return request_id in self._responses
+
+    def take(self, request_id: int) -> RpcResponse | None:
+        """Pop the response to ``request_id`` if it has arrived."""
+        return self._responses.pop(request_id, None)
+
+    def abandon(self, request_id: int) -> None:
+        """Stop waiting for ``request_id``; a late reply is ignored."""
+        self._pending.discard(request_id)
+        self._responses.pop(request_id, None)
+
+    def resolve(
+        self, response: RpcResponse, *, target: str, method: str
+    ) -> object:
+        """Decode a response into its result, or raise the mapped error."""
+        obs.inc("rpc.client.bytes_received", len(response.payload))
+        if not response.ok:
+            raise self._remote_error(response)
+        try:
+            return wire.decode(response.payload)
+        except ReproError as exc:
+            raise ResponseIntegrityError(
+                f"response to {method!r} from {target!r} corrupted in "
+                f"flight: {exc}"
+            ) from exc
 
     def call(
         self,
@@ -239,26 +352,14 @@ class RpcClient:
         """
         policy = policy or self.policy
         payload = wire.encode(argument)
+        self.calls += 1
         obs.inc("rpc.client.calls")
         virtual_started = self.bus.clock_ms
+        last_remote: ReproError | None = None
         for attempt in range(policy.max_attempts):
             if attempt:
                 obs.inc("rpc.client.retries")
-            obs.inc("rpc.client.bytes_sent", len(payload))
-            request_id = self._next_id
-            self._next_id += 1
-            self._pending.add(request_id)
-            self.bus.send(
-                self.name,
-                target,
-                rpc_topic(target),
-                RpcRequest(
-                    request_id=request_id,
-                    sender=self.name,
-                    method=method,
-                    payload=payload,
-                ),
-            )
+            request_id = self._send(target, method, payload)
             deadline = self.bus.clock_ms + policy.timeout_ms
             while request_id not in self._responses and self.bus.step(deadline):
                 pass
@@ -278,7 +379,17 @@ class RpcClient:
                     self.bus.clock_ms - virtual_started,
                 )
             if not response.ok:
-                raise self._remote_error(response)
+                error = self._remote_error(response)
+                # The code tells us whether another attempt can help: a
+                # transient transport-class failure (service restarting,
+                # overloaded) is worth the backoff; a semantic failure
+                # (bad query, failed verification) never is.
+                if error.retryable and attempt + 1 < policy.max_attempts:
+                    last_remote = error
+                    obs.inc("rpc.client.remote_retries")
+                    self.bus.run_for(policy.backoff_ms(attempt))
+                    continue
+                raise error
             try:
                 return wire.decode(response.payload)
             except ReproError as exc:
@@ -286,23 +397,27 @@ class RpcClient:
                     f"response to {method!r} from {target!r} corrupted in "
                     f"flight: {exc}"
                 ) from exc
+        if last_remote is not None:
+            raise last_remote
         raise RpcTimeoutError(
             f"no response from {target!r} to {method!r} after "
             f"{policy.max_attempts} attempts ({policy.timeout_ms:.0f} ms each)"
         )
 
     def _remote_error(self, response: RpcResponse) -> ReproError:
-        """Map a remote failure report back onto the local taxonomy."""
-        import repro.errors as errors
+        """Map a remote failure report back onto the local taxonomy.
+
+        The response's ``code`` field selects the exception class (an
+        unknown code degrades to :class:`RemoteCallError`); the payload
+        carries only the human-readable message.
+        """
+        from repro.errors import error_for_code
 
         try:
-            detail = wire.decode(response.payload)
-            name, message = detail["type"], detail["message"]
-        except (ReproError, KeyError, TypeError) as exc:
+            message = wire.decode(response.payload)
+        except ReproError as exc:
             return ResponseIntegrityError(
                 f"undecodable error report from {response.sender!r}: {exc}"
             )
-        exc_type = getattr(errors, str(name), RemoteCallError)
-        if not (isinstance(exc_type, type) and issubclass(exc_type, ReproError)):
-            exc_type = RemoteCallError
+        exc_type = error_for_code(response.code)
         return exc_type(f"{response.sender}: {message}")

@@ -1,28 +1,32 @@
-"""Supervised issuer restart: crash detection + archive restore.
+"""Supervised service restart: crash detection + state restore.
 
-A production CI is a process under a supervisor (systemd, k8s, ...): it
-crashes, the supervisor restarts it, and — because the signing key is
-sealed and the archive is durable — it comes back as the *same* CI, so
-clients keep their verified attestation and simply retry in-flight
-calls.  :class:`IssuerSupervisor` models that loop on the virtual-clock
-bus:
+A production CI or SP is a process under a supervisor (systemd, k8s,
+...): it crashes, the supervisor restarts it, and — because the signing
+key is sealed and the archive is durable — it comes back as the *same*
+endpoint, so clients keep their verified attestation and simply retry
+in-flight calls.  :class:`ServiceSupervisor` models that loop on the
+virtual-clock bus for any RPC-fronted service:
 
-* every RPC handler of the supervised :class:`IssuerService` is
-  wrapped: a :class:`~repro.fault.crashpoints.SimulatedCrash` escaping
-  a handler marks the issuer dead — the in-flight request is dropped
-  with no reply (a dead host does not send error responses) and the
-  endpoint is paused so subsequent requests vanish the same way;
+* every RPC handler of the supervised service is wrapped: a
+  :class:`~repro.fault.crashpoints.SimulatedCrash` escaping a handler
+  marks the process dead — the in-flight request is dropped with no
+  reply (a dead host does not send error responses) and the endpoint is
+  paused so subsequent requests vanish the same way;
 * restart attempts are scheduled on the bus with bounded exponential
   backoff (:class:`RestartPolicy`); each attempt calls the supplied
   ``restore`` callable (typically
-  :func:`repro.core.recovery.recover_issuer` over the CI's archive);
-* on success the restored issuer is swapped into the service and the
-  endpoint unpaused, mid-conversation — clients that were retrying
-  against the dead endpoint complete against the restarted one.
+  :func:`repro.core.recovery.recover_issuer` over the CI's archive, or
+  a provider re-sync for an SP replica);
+* on success the restored backing object is swapped into the service
+  and the endpoint unpaused, mid-conversation — clients that were
+  retrying against the dead endpoint complete against the restarted
+  one, and a :class:`~repro.net.gateway.QueryGateway` that health-routed
+  around the dead replica probes it back into rotation.
 
 The bus does not allow a name to be re-joined, which is exactly the
 semantics we want anyway: the *endpoint* (address) survives, the
-process behind it is replaced.
+process behind it is replaced.  :class:`IssuerSupervisor` remains as
+the issuer-specific name from PR 4.
 """
 
 from __future__ import annotations
@@ -52,9 +56,16 @@ class RestartPolicy:
         )
 
 
-class IssuerSupervisor:
-    """Watches an :class:`~repro.core.issuer.IssuerService`; restores a
-    crashed issuer from its archive and brings the endpoint back."""
+class ServiceSupervisor:
+    """Watches an RPC-fronted service; restores its crashed backing
+    object (issuer, provider, ...) and brings the endpoint back.
+
+    ``target_attr`` names the attribute on the service that holds the
+    process-like object the ``restore`` callable rebuilds.  When
+    omitted it is auto-detected: an ``issuer`` attribute wins (the
+    :class:`~repro.core.issuer.IssuerService` shape), else ``provider``
+    (the :class:`~repro.query.provider.QueryService` shape).
+    """
 
     def __init__(
         self,
@@ -62,10 +73,19 @@ class IssuerSupervisor:
         restore: Callable[[], object],
         *,
         policy: RestartPolicy | None = None,
+        target_attr: str | None = None,
     ) -> None:
         self.service = service
         self.restore = restore
         self.policy = policy or RestartPolicy()
+        if target_attr is None:
+            target_attr = "issuer" if hasattr(service, "issuer") else "provider"
+        if not hasattr(service, target_attr):
+            raise TypeError(
+                f"service {type(service).__name__} has no attribute "
+                f"{target_attr!r} to supervise"
+            )
+        self.target_attr = target_attr
         self.crashes = 0
         self.restarts = 0
         self.failed_attempts = 0
@@ -108,7 +128,7 @@ class IssuerSupervisor:
         if self.gave_up or not self.service.server.paused:
             return
         try:
-            issuer = self.restore()
+            restored = self.restore()
         except Exception:
             self.failed_attempts += 1
             obs.inc("supervisor.restart_failures")
@@ -118,10 +138,26 @@ class IssuerSupervisor:
             else:
                 self._schedule_attempt(attempt + 1)
             return
-        self.service.issuer = issuer
+        setattr(self.service, self.target_attr, restored)
         self.service.server.paused = False
         self.restarts += 1
         if obs.enabled():
             obs.inc("supervisor.restarts")
             obs.set_gauge("supervisor.endpoint_up", 1)
             obs.set_gauge("supervisor.restart_attempts_last", attempt + 1)
+
+
+class IssuerSupervisor(ServiceSupervisor):
+    """The issuer-specific supervisor from PR 4; now a thin alias over
+    :class:`ServiceSupervisor` with ``target_attr="issuer"``."""
+
+    def __init__(
+        self,
+        service,
+        restore: Callable[[], object],
+        *,
+        policy: RestartPolicy | None = None,
+    ) -> None:
+        super().__init__(
+            service, restore, policy=policy, target_attr="issuer"
+        )

@@ -17,8 +17,11 @@ query answers against those certified roots.
   ``verify(request, answer, certified_roots)`` entry point.
 * :mod:`lineagechain` — the LineageChain baseline (skip-list lower
   level), used by the Fig. 11 comparison.
+* :mod:`answercache` — the client-side LRU cache of *verified* answers,
+  keyed by canonical request + certified root.
 """
 
+from repro.query.answercache import VerifiedAnswerCache
 from repro.query.api import (
     AggregateQuery,
     HistoryQuery,
@@ -71,6 +74,7 @@ __all__ = [
     "TwoLevelUpdateProof",
     "ValueRangeIndex",
     "ValueRangeIndexSpec",
+    "VerifiedAnswerCache",
     "verify_aggregate_answer",
     "verify_baseline_history_answer",
     "verify_history_answer",

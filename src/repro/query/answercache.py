@@ -1,0 +1,99 @@
+"""Client-side cache of verified query answers.
+
+Certificates change what a cache has to fear.  An ordinary response
+cache must trust whoever filled it; here an entry is admitted only
+*after* :meth:`~repro.core.superlight.SuperlightClient.verify_answer`
+succeeded, and it is keyed by the canonical wire encoding of the typed
+request **plus the certified index root the verification ran against**.
+That second key component is the invalidation story: when the client
+adopts a new certified tip the roots move, lookups start using the new
+root, and every old entry silently stops matching — a cached answer can
+never be served against a root it was not verified under.  Entries
+stranded under superseded roots are garbage, not a hazard;
+:meth:`VerifiedAnswerCache.retain_roots` sweeps them out (and counts
+them) whenever the client syncs.
+
+Capacity is LRU-bounded, and hits/misses/invalidations/evictions are
+exported through :mod:`repro.obs` so the fleet benchmark can show the
+warm-hit path doing zero RPC round trips.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro import obs
+from repro.net import wire
+from repro.query.api import QueryAnswer, QueryRequest
+
+#: (canonical request bytes, certified root) -> verified answer.
+CacheKey = tuple[bytes, bytes]
+
+
+class VerifiedAnswerCache:
+    """LRU cache of answers that passed verification at a known root."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[CacheKey, QueryAnswer] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(request: QueryRequest, root: bytes) -> CacheKey:
+        """Canonical cache key: wire-encoded request + certified root."""
+        return (wire.encode(request), bytes(root))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, request: QueryRequest, root: bytes) -> QueryAnswer | None:
+        """The cached verified answer for ``request`` at ``root``, if any."""
+        entry = self._entries.get(self.key(request, root))
+        if entry is None:
+            self.misses += 1
+            obs.inc("cache.answer.misses")
+            return None
+        self._entries.move_to_end(self.key(request, root))
+        self.hits += 1
+        obs.inc("cache.answer.hits")
+        return entry
+
+    def put(self, request: QueryRequest, root: bytes, answer: QueryAnswer) -> None:
+        """Admit a **verified** answer.  Callers must only put answers
+        that passed ``verify_answer`` against exactly ``root``."""
+        key = self.key(request, root)
+        self._entries[key] = answer
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            obs.inc("cache.answer.evictions")
+        obs.set_gauge("cache.answer.entries", len(self._entries))
+
+    def retain_roots(self, roots: Iterable[bytes]) -> int:
+        """Drop entries verified under roots no longer certified.
+
+        Call after a tip advance; returns how many entries were swept.
+        (Correctness never depends on this — a stale entry can no
+        longer be *looked up* once the root moved — it only bounds
+        memory and feeds the invalidation counter.)
+        """
+        keep = {bytes(root) for root in roots}
+        stale = [key for key in self._entries if key[1] not in keep]
+        for key in stale:
+            del self._entries[key]
+        if stale:
+            self.invalidations += len(stale)
+            obs.inc("cache.answer.invalidations", len(stale))
+            obs.set_gauge("cache.answer.entries", len(self._entries))
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        obs.set_gauge("cache.answer.entries", 0)

@@ -8,13 +8,13 @@ check against CI-certified index roots.
 
 Queries go through one typed entry point — :meth:`execute` with a
 :class:`repro.query.api.QueryRequest` — which is also exactly what the
-networked :class:`QueryService` serves over RPC.  The old per-type
-``query_*`` methods remain as deprecated wrappers.
+networked :class:`QueryService` serves over RPC.  The per-type
+``query_*`` wrappers that predated the typed API were removed in PR 5;
+only the LineageChain baseline keeps a dedicated method (it is a
+benchmark comparison, not part of the query surface).
 """
 
 from __future__ import annotations
-
-import warnings
 
 from repro import obs
 from repro.chain.block import Block
@@ -32,26 +32,13 @@ from repro.query.api import (
     ValueRangeQuery,
 )
 from repro.query.indexes import (
-    AggregateAnswer,
     AggregateHistoryIndex,
-    ValueRangeAnswer,
     ValueRangeIndex,
     AuthenticatedIndexSpec,
-    HistoryAnswer,
-    KeywordAnswer,
     MaintainedKeywordIndex,
     TwoLevelHistoryIndex,
 )
 from repro.query.lineagechain import LineageChainIndex
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"QueryServiceProvider.{old} is deprecated; use "
-        f"execute({new}) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 class QueryServiceProvider:
@@ -147,38 +134,6 @@ class QueryServiceProvider:
             )
         return QueryAnswer(request=request, payload=payload)
 
-    # -- deprecated per-type methods ---------------------------------------
-
-    def query_history(
-        self, name: str, account: str, t_from: int, t_to: int
-    ) -> HistoryAnswer:
-        """Deprecated: use ``execute(HistoryQuery(...))``."""
-        _deprecated("query_history", "HistoryQuery(...)")
-        return self.execute(
-            HistoryQuery(index=name, account=account, t_from=t_from, t_to=t_to)
-        ).payload
-
-    def query_aggregate(
-        self, name: str, account: str, t_from: int, t_to: int
-    ) -> AggregateAnswer:
-        """Deprecated: use ``execute(AggregateQuery(...))``."""
-        _deprecated("query_aggregate", "AggregateQuery(...)")
-        return self.execute(
-            AggregateQuery(index=name, account=account, t_from=t_from, t_to=t_to)
-        ).payload
-
-    def query_value_range(self, name: str, lo: int, hi: int) -> ValueRangeAnswer:
-        """Deprecated: use ``execute(ValueRangeQuery(...))``."""
-        _deprecated("query_value_range", "ValueRangeQuery(...)")
-        return self.execute(ValueRangeQuery(index=name, lo=lo, hi=hi)).payload
-
-    def query_keywords(self, name: str, keywords: list[str]) -> KeywordAnswer:
-        """Deprecated: use ``execute(KeywordQuery(...))``."""
-        _deprecated("query_keywords", "KeywordQuery(...)")
-        return self.execute(
-            KeywordQuery(index=name, keywords=tuple(keywords))
-        ).payload
-
     # -- baseline (not part of the typed API) ------------------------------
 
     def query_history_baseline(
@@ -203,23 +158,47 @@ class QueryService:
     """The SP's networked face: serves :meth:`execute` over RPC.
 
     Register under a service name on the bus; superlight clients reach
-    it through :class:`repro.core.superlight.RemoteSuperlightClient`.
+    it through :class:`repro.core.superlight.RemoteSuperlightClient`,
+    either directly or via a :class:`repro.net.gateway.QueryGateway`
+    fronting a fleet of these.  ``service_time_ms`` charges the
+    ``execute`` path through the :class:`~repro.net.rpc.RpcServer`
+    busy-worker model so replica count shows up in fleet throughput
+    (root lookups stay free); the ``query.execute.*``
+    crashpoints let the chaos harness kill a replica mid-query (a
+    :class:`~repro.net.supervisor.ServiceSupervisor` restarts it).
     """
 
-    def __init__(self, bus, name: str, provider: QueryServiceProvider) -> None:
+    def __init__(
+        self,
+        bus,
+        name: str,
+        provider: QueryServiceProvider,
+        *,
+        service_time_ms: float = 0.0,
+    ) -> None:
         from repro.net.rpc import RpcServer
 
         self.provider = provider
         self.server = RpcServer(bus, name)
-        self.server.register("execute", self._execute)
+        # Only query execution occupies the modeled worker; root
+        # lookups (used by gateway switch verification) are answered
+        # immediately, like any metadata read.
+        self.server.register(
+            "execute", self._execute, service_time_ms=service_time_ms
+        )
         self.server.register("index_root", self._index_root)
 
     def _execute(self, request: object) -> QueryAnswer:
+        from repro.fault.crashpoints import crashpoint
+
         if not isinstance(request, QueryRequest):
             raise QueryError(
                 f"malformed query request of type {type(request).__name__}"
             )
-        return self.provider.execute(request)
+        crashpoint("query.execute.pre")
+        answer = self.provider.execute(request)
+        crashpoint("query.execute.post")
+        return answer
 
     def _index_root(self, name: object) -> bytes:
         if not isinstance(name, str):

@@ -133,60 +133,29 @@ def test_both_flavors_usable_through_the_protocol(certified_setup, local_client)
     assert storage_of(remote) == 0
 
 
-# -- deprecated per-type wrappers -------------------------------------------
+# -- the unified verification surface ---------------------------------------
 
 
-def test_verify_history_wrapper_warns_and_delegates(four_family_world):
+def test_verify_answer_covers_all_four_families(four_family_world):
     provider, client, height = four_family_world
-    request = HistoryQuery(index="history", account="k1", t_from=1, t_to=height)
-    answer = provider.execute(request)
-    with pytest.warns(DeprecationWarning, match="verify_history"):
-        ok = client.verify_history("history", answer.payload)
-    assert ok
-    assert client.verify_answer(request, answer)
-
-
-def test_verify_keyword_wrapper_warns_and_delegates(four_family_world):
-    provider, client, _height = four_family_world
-    request = KeywordQuery(index="keyword", keywords=("k1",))
-    answer = provider.execute(request)
-    with pytest.warns(DeprecationWarning, match="verify_keyword"):
-        ok = client.verify_keyword("keyword", answer.payload)
-    assert ok
-    assert client.verify_answer(request, answer)
-
-
-def test_verify_aggregate_wrapper_warns_and_delegates(four_family_world):
-    provider, client, height = four_family_world
-    request = AggregateQuery(
-        index="aggregate", account="a1", t_from=1, t_to=height
+    requests = (
+        HistoryQuery(index="history", account="k1", t_from=1, t_to=height),
+        KeywordQuery(index="keyword", keywords=("k1",)),
+        AggregateQuery(index="aggregate", account="a1", t_from=1, t_to=height),
+        ValueRangeQuery(index="range", lo=0, hi=10_000),
     )
-    answer = provider.execute(request)
-    with pytest.warns(DeprecationWarning, match="verify_aggregate"):
-        ok = client.verify_aggregate("aggregate", answer.payload)
-    assert ok
-    assert client.verify_answer(request, answer)
+    for request in requests:
+        answer = provider.execute(request)
+        assert client.verify_answer(request, answer)
 
 
-def test_verify_value_range_wrapper_warns_and_delegates(four_family_world):
-    provider, client, _height = four_family_world
-    request = ValueRangeQuery(index="range", lo=0, hi=10_000)
-    answer = provider.execute(request)
-    with pytest.warns(DeprecationWarning, match="verify_value_range"):
-        ok = client.verify_value_range("range", answer.payload)
-    assert ok
-    assert client.verify_answer(request, answer)
-
-
-def test_wrappers_still_reject_tampered_answers(four_family_world):
+def test_verify_answer_rejects_tampered_answers(four_family_world):
     from dataclasses import replace
 
     provider, client, height = four_family_world
     request = HistoryQuery(index="history", account="k1", t_from=1, t_to=height)
     answer = provider.execute(request)
     tampered = replace(answer.payload, versions=answer.payload.versions[:-1])
-    with pytest.warns(DeprecationWarning):
-        assert not client.verify_history("history", tampered)
     assert not client.verify_answer(
         request, QueryAnswer(request=request, payload=tampered)
     )

@@ -17,6 +17,7 @@ from repro.core.certificate import CERT_SIG_DOMAIN, Certificate
 from repro.core.digest import block_digest
 from repro.core.superlight import SuperlightClient
 from repro.crypto import generate_keypair, sign
+from repro.query.api import HistoryQuery, KeywordQuery, QueryAnswer
 from repro.errors import CertificateError
 from repro.sgx.attestation import AttestationService, sign_quote
 from repro.sgx.platform import SGXPlatform
@@ -139,19 +140,38 @@ def test_chain_selection_enforced(certified_setup, client):
 # -- Definition 2: forged query answers ---------------------------------------
 
 
+def verify_history(client, name, answer):
+    """Check a bare HistoryAnswer through the unified typed API."""
+    request = HistoryQuery(
+        index=name, account=answer.account,
+        t_from=answer.t_from, t_to=answer.t_to,
+    )
+    return client.verify_answer(
+        request, QueryAnswer(request=request, payload=answer)
+    )
+
+
+def verify_keyword(client, name, answer):
+    """Check a bare KeywordAnswer through the unified typed API."""
+    request = KeywordQuery(index=name, keywords=tuple(answer.keywords))
+    return client.verify_answer(
+        request, QueryAnswer(request=request, payload=answer)
+    )
+
+
 def test_sp_cannot_drop_history_versions(certified_setup, client):
     answer = certified_setup["issuer"].indexes["history"].query_history("k1", 1, 10)
-    assert client.verify_history("history", answer)
+    assert verify_history(client, "history", answer)
     assert len(answer.versions) >= 2
-    assert not client.verify_history(
-        "history", replace(answer, versions=answer.versions[1:])
+    assert not verify_history(
+        client, "history", replace(answer, versions=answer.versions[1:])
     )
 
 
 def test_sp_cannot_alter_history_values(certified_setup, client):
     answer = certified_setup["issuer"].indexes["history"].query_history("k1", 1, 10)
     forged = ((answer.versions[0][0], b"evil"),) + answer.versions[1:]
-    assert not client.verify_history("history", replace(answer, versions=forged))
+    assert not verify_history(client, "history", replace(answer, versions=forged))
 
 
 def test_sp_cannot_shrink_the_window(certified_setup, client):
@@ -160,7 +180,7 @@ def test_sp_cannot_shrink_the_window(certified_setup, client):
     index = certified_setup["issuer"].indexes["history"]
     narrow = index.query_history("k1", 5, 6)
     wide_claimed = replace(narrow, t_from=1, t_to=10)
-    assert not client.verify_history("history", wide_claimed)
+    assert not verify_history(client, "history", wide_claimed)
 
 
 def test_sp_cannot_serve_stale_index_root(certified_setup, client):
@@ -182,19 +202,19 @@ def test_sp_cannot_serve_stale_index_root(certified_setup, client):
         node.state.apply_writes(result.write_set)
         node.blocks.append(block)
     answer = stale.query_history("k1", 1, 10)
-    assert not client.verify_history("history", answer)
+    assert not verify_history(client, "history", answer)
 
 
 def test_sp_cannot_withhold_keyword_matches(certified_setup, client):
     answer = certified_setup["issuer"].indexes["keyword"].query_conjunctive(["v1"])
-    assert client.verify_keyword("keyword", answer)
+    assert verify_keyword(client, "keyword", answer)
     assert len(answer.results) >= 1
-    assert not client.verify_keyword(
-        "keyword", replace(answer, results=answer.results[:-1])
+    assert not verify_keyword(
+        client, "keyword", replace(answer, results=answer.results[:-1])
     )
 
 
 def test_sp_cannot_inject_keyword_matches(certified_setup, client):
     answer = certified_setup["issuer"].indexes["keyword"].query_conjunctive(["v1"])
     padded = replace(answer, results=answer.results + ((999 << 20),))
-    assert not client.verify_keyword("keyword", padded)
+    assert not verify_keyword(client, "keyword", padded)

@@ -112,15 +112,24 @@ def test_query_verification_through_client(client, certified_setup):
         "history", tip.block.header, tip.index_roots["history"],
         tip.index_certificates["history"],
     )
+    from repro.query.api import HistoryQuery, KeywordQuery, QueryAnswer
+
+    request = HistoryQuery(index="history", account="k1", t_from=1, t_to=10)
     answer = issuer.indexes["history"].query_history("k1", 1, 10)
-    assert client.verify_history("history", answer)
+    assert client.verify_answer(
+        request, QueryAnswer(request=request, payload=answer)
+    )
 
     client.validate_index_certificate(
         "keyword", tip.block.header, tip.index_roots["keyword"],
         tip.index_certificates["keyword"],
     )
+    keyword_request = KeywordQuery(index="keyword", keywords=("v1",))
     keyword_answer = issuer.indexes["keyword"].query_conjunctive(["v1"])
-    assert client.verify_keyword("keyword", keyword_answer)
+    assert client.verify_answer(
+        keyword_request,
+        QueryAnswer(request=keyword_request, payload=keyword_answer),
+    )
 
 
 def test_wrong_measurement_rejected(certified_setup):

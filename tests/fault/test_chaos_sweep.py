@@ -75,6 +75,11 @@ def test_sweep_every_crashpoint(world, tmp_path, baseline):
         return
     seed = _base_seed()
     for point in CATALOG:
+        if point.startswith("query."):
+            # The query-service points live in the SP serving path, not
+            # this certification workload; tests/fault/test_fleet_chaos.py
+            # sweeps them against the replica fleet.
+            continue
         outcome = _run(world, tmp_path, baseline, point, 1, seed)
         # hit=1 must actually crash — otherwise the crashpoint is dead
         # instrumentation and the sweep is vacuous.

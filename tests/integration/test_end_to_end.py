@@ -54,11 +54,17 @@ def test_independent_sp_serves_verifiable_queries(world):
         client.validate_index_certificate(
             name, tip.block.header, tip.index_roots[name], cert
         )
-    history = world["provider"].query_history("history", "k0", 1, 10)
-    assert len(history.versions) >= 2
-    assert client.verify_history("history", history)
-    keywords = world["provider"].query_keywords("keyword", ["k0"])
-    assert client.verify_keyword("keyword", keywords)
+    from repro.query.api import HistoryQuery, KeywordQuery
+
+    history_request = HistoryQuery(
+        index="history", account="k0", t_from=1, t_to=10
+    )
+    history = world["provider"].execute(history_request)
+    assert len(history.payload.versions) >= 2
+    assert client.verify_answer(history_request, history)
+    keyword_request = KeywordQuery(index="keyword", keywords=("k0",))
+    keywords = world["provider"].execute(keyword_request)
+    assert client.verify_answer(keyword_request, keywords)
 
 
 def test_sp_and_ci_agree_bit_for_bit(world):

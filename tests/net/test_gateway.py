@@ -1,0 +1,288 @@
+"""The query gateway: balancing, health, failover, pipelining.
+
+These tests exercise the gateway against plain RpcServers (any method
+registry works — the gateway is method-agnostic); the full
+QueryService + supervisor composition lives in
+tests/fault/test_fleet_chaos.py.
+"""
+
+import pytest
+
+from repro.errors import (
+    QueryError,
+    ServiceUnavailableError,
+)
+from repro.net.bus import MessageBus
+from repro.net.gateway import (
+    HealthPolicy,
+    LeastOutstanding,
+    QueryGateway,
+    ReplicaState,
+    RoundRobin,
+    SeededRandom,
+    make_balancer,
+)
+from repro.net.rpc import RetryPolicy, RpcServer
+
+
+@pytest.fixture()
+def bus():
+    return MessageBus(default_latency_ms=5.0)
+
+
+def make_fleet(bus, count, *, service_time_ms=0.0):
+    """Replicas whose echo answers carry the serving replica's name."""
+    servers = {}
+    for i in range(count):
+        name = f"sp{i + 1}"
+        server = RpcServer(bus, name, service_time_ms=service_time_ms)
+
+        def echo(argument, name=name):
+            return {"replica": name, "arg": argument}
+
+        server.register("echo", echo)
+        servers[name] = server
+    return servers
+
+
+def make_gateway(bus, replicas, **kwargs):
+    kwargs.setdefault(
+        "policy", RetryPolicy(timeout_ms=100.0, max_attempts=1)
+    )
+    kwargs.setdefault(
+        "health", HealthPolicy(failure_threshold=2, probe_base_ms=100.0)
+    )
+    return QueryGateway(bus, "gw", replicas, **kwargs)
+
+
+# -- balancing policies ------------------------------------------------------
+
+
+def test_round_robin_distributes_evenly(bus):
+    servers = make_fleet(bus, 3)
+    gateway = make_gateway(bus, list(servers), balancer="round-robin")
+    for _ in range(9):
+        gateway.call("echo", "x")
+    assert [s.requests_served for s in servers.values()] == [3, 3, 3]
+
+
+def test_seeded_random_is_deterministic():
+    first = MessageBus(default_latency_ms=5.0)
+    second = MessageBus(default_latency_ms=5.0)
+    sequences = []
+    for bus in (first, second):
+        make_fleet(bus, 3)
+        gateway = make_gateway(
+            bus, ["sp1", "sp2", "sp3"], balancer="seeded-random", seed=7
+        )
+        sequences.append(
+            [gateway.call("echo", i)["replica"] for i in range(8)]
+        )
+    assert sequences[0] == sequences[1]
+    assert len(set(sequences[0])) > 1  # actually spreads load
+
+
+def test_least_outstanding_prefers_idle_replica():
+    balancer = LeastOutstanding()
+    idle = ReplicaState("idle")
+    busy = ReplicaState("busy")
+    busy.track(1, 0.0)
+    busy.track(2, 0.0)
+    assert balancer.pick([busy, idle]) is idle
+
+
+def test_make_balancer_resolves_names():
+    assert isinstance(make_balancer("round-robin"), RoundRobin)
+    assert isinstance(make_balancer("least-outstanding"), LeastOutstanding)
+    assert isinstance(make_balancer("seeded-random", seed=3), SeededRandom)
+    with pytest.raises(ValueError, match="unknown balancing policy"):
+        make_balancer("nope")
+
+
+# -- health and failover -----------------------------------------------------
+
+
+def test_failover_to_live_replica_when_one_is_dead(bus):
+    servers = make_fleet(bus, 2)
+    servers["sp1"].paused = True  # a dead host: requests vanish
+    gateway = make_gateway(bus, ["sp1", "sp2"])
+    results = [gateway.call("echo", i)["replica"] for i in range(4)]
+    assert set(results) == {"sp2"}
+    assert gateway.failovers >= 1
+
+
+def test_dead_replica_leaves_rotation_after_threshold(bus):
+    servers = make_fleet(bus, 2)
+    servers["sp1"].paused = True
+    gateway = make_gateway(bus, ["sp1", "sp2"])
+    for i in range(4):
+        gateway.call("echo", i)
+    assert gateway.healthy_replicas() == ["sp2"]
+    # Once ejected, sp1 stops eating a timeout on every call: the next
+    # calls go straight to sp2 (no new timeouts until a probe is due).
+    timeouts_before = gateway.rpc.timeouts
+    gateway.call("echo", "again")
+    assert gateway.rpc.timeouts == timeouts_before
+
+
+def test_probe_restores_recovered_replica(bus):
+    servers = make_fleet(bus, 2)
+    servers["sp1"].paused = True
+    gateway = make_gateway(
+        bus,
+        ["sp1", "sp2"],
+        health=HealthPolicy(failure_threshold=1, probe_base_ms=50.0),
+    )
+    gateway.call("echo", 1)  # sp1 times out once -> ejected
+    assert gateway.healthy_replicas() == ["sp2"]
+    servers["sp1"].paused = False  # the replica comes back
+    bus.run_for(60.0)  # the probe window opens
+    for i in range(4):
+        gateway.call("echo", i)
+    assert sorted(gateway.healthy_replicas()) == ["sp1", "sp2"]
+    assert servers["sp1"].requests_served >= 1
+
+
+def test_probe_backoff_grows_while_replica_stays_dead(bus):
+    servers = make_fleet(bus, 2)
+    servers["sp1"].paused = True
+    gateway = make_gateway(
+        bus,
+        ["sp1", "sp2"],
+        health=HealthPolicy(
+            failure_threshold=1, probe_base_ms=50.0, probe_factor=2.0
+        ),
+    )
+    gateway.call("echo", 1)
+    state = gateway.replicas["sp1"]
+    assert not state.healthy
+    first_probe = state.next_probe_ms
+    bus.run_for(60.0)
+    gateway.call("echo", 2)  # the due probe fails again
+    assert state.next_probe_ms > first_probe
+    assert state.probe_attempt >= 1
+
+
+def test_terminal_error_is_not_failed_over(bus):
+    servers = make_fleet(bus, 2)
+    for server in servers.values():
+        def bad_query(argument):
+            raise QueryError("no such index")
+
+        server.register("fail", bad_query)
+    gateway = make_gateway(bus, ["sp1", "sp2"])
+    with pytest.raises(QueryError, match="no such index"):
+        gateway.call("fail", "x")
+    # Exactly one replica saw the request: a terminal error must not
+    # burn the fleet retrying a query that is wrong everywhere.
+    assert gateway.rpc.calls == 1
+    assert sorted(gateway.healthy_replicas()) == ["sp1", "sp2"]
+
+
+def test_retryable_remote_error_fails_over(bus):
+    from repro.errors import ServiceUnavailableError as Unavailable
+
+    servers = make_fleet(bus, 2)
+
+    def warming_up(argument):
+        raise Unavailable("restarting")
+
+    servers["sp1"].register("echo", warming_up)
+    gateway = make_gateway(bus, ["sp1", "sp2"])
+    results = {gateway.call("echo", i)["replica"] for i in range(4)}
+    assert results == {"sp2"}
+
+
+def test_all_replicas_dead_raises_bounded(bus):
+    servers = make_fleet(bus, 2)
+    for server in servers.values():
+        server.paused = True
+    gateway = make_gateway(bus, ["sp1", "sp2"])
+    before = bus.clock_ms
+    with pytest.raises(ServiceUnavailableError):
+        gateway.call("echo", "x")
+    assert bus.clock_ms - before < 3_000.0  # bounded, not forever
+
+
+# -- switch verification -----------------------------------------------------
+
+
+def test_verify_switch_runs_once_per_replica(bus):
+    make_fleet(bus, 2)
+    verified = []
+    gateway = make_gateway(
+        bus, ["sp1", "sp2"], verify_switch=verified.append
+    )
+    for i in range(6):
+        gateway.call("echo", i)
+    assert sorted(set(verified)) == ["sp1", "sp2"]
+    assert len(verified) == 2  # cached until reset_verified()
+    gateway.reset_verified()
+    gateway.call("echo", "again")
+    assert len(verified) == 3
+
+
+def test_unverifiable_replica_is_routed_around(bus):
+    from repro.errors import ResponseIntegrityError
+
+    make_fleet(bus, 2)
+
+    def reject_sp1(replica):
+        if replica == "sp1":
+            raise ResponseIntegrityError("stale roots")
+
+    gateway = make_gateway(bus, ["sp1", "sp2"], verify_switch=reject_sp1)
+    results = {gateway.call("echo", i)["replica"] for i in range(4)}
+    assert results == {"sp2"}
+    assert not gateway.replicas["sp1"].healthy
+
+
+# -- bounded bookkeeping -----------------------------------------------------
+
+
+def test_inflight_bookkeeping_is_bounded():
+    state = ReplicaState("sp", outstanding_limit=16)
+    for request_id in range(1000):
+        state.track(request_id, float(request_id))
+    assert state.outstanding == 16
+    # Oldest entries were evicted; newest retained.
+    assert 999 in state.inflight and 0 not in state.inflight
+    assert state.dispatched == 1000
+
+
+# -- the pipelined path ------------------------------------------------------
+
+
+def test_call_many_keeps_the_fleet_busy(bus):
+    servers = make_fleet(bus, 2, service_time_ms=40.0)
+    gateway = make_gateway(
+        bus, ["sp1", "sp2"],
+        policy=RetryPolicy(timeout_ms=500.0, max_attempts=1),
+    )
+    results = gateway.call_many("echo", list(range(8)))
+    assert [r["arg"] for r in results] == list(range(8))
+    # 8 x 40ms of service over 2 replicas ≈ 160ms + latency — far less
+    # than the 320ms+ a single worker would need.
+    assert bus.clock_ms < 300.0
+    assert all(s.requests_served >= 2 for s in servers.values())
+
+
+def test_call_many_fails_over_mid_batch(bus):
+    servers = make_fleet(bus, 2)
+    servers["sp1"].paused = True
+    gateway = make_gateway(bus, ["sp1", "sp2"])
+    results = gateway.call_many("echo", list(range(6)))
+    assert [r["arg"] for r in results] == list(range(6))
+    assert {r["replica"] for r in results} == {"sp2"}
+
+
+def test_call_many_raises_terminal_error(bus):
+    servers = make_fleet(bus, 2)
+    for server in servers.values():
+        def bad_query(argument):
+            raise QueryError("bad request")
+
+        server.register("fail", bad_query)
+    gateway = make_gateway(bus, ["sp1", "sp2"])
+    with pytest.raises(QueryError, match="bad request"):
+        gateway.call_many("fail", [1, 2, 3])

@@ -57,7 +57,9 @@ def test_unknown_method_maps_to_remote_call_error(bus, echo_server, client):
         client.call("server", "nope")
 
 
-def test_unknown_error_type_degrades_to_remote_call_error(bus, client):
+def test_unregistered_subclass_degrades_to_taxonomic_ancestor(bus, client):
+    """A subclass minted after this build inherits its parent's wire
+    code, so the client maps it back to the nearest known ancestor."""
     server = RpcServer(bus, "server")
 
     class Weird(QueryError):
@@ -67,8 +69,84 @@ def test_unknown_error_type_degrades_to_remote_call_error(bus, client):
         raise Weird("strange")
 
     server.register("boom", boom)
-    with pytest.raises(RemoteCallError, match="strange"):
+    with pytest.raises(QueryError, match="strange") as excinfo:
         client.call("server", "boom")
+    assert type(excinfo.value) is QueryError
+
+
+def test_unknown_wire_code_degrades_to_remote_call_error(bus, client):
+    from repro.net import wire
+    from repro.net.rpc import RpcResponse
+
+    node = bus.join(NetworkNode("oddball"))
+
+    def reply(message):
+        bus.send(
+            "oddball", message.sender, rpc_topic(message.sender),
+            RpcResponse(
+                request_id=message.request_id, sender="oddball",
+                ok=False, payload=wire.encode("from the future"),
+                code="galaxy.brain",
+            ),
+        )
+
+    node.on(rpc_topic("oddball"), reply)
+    with pytest.raises(RemoteCallError, match="from the future"):
+        client.call("oddball", "anything")
+
+
+def test_retryable_remote_error_is_retried(bus, client):
+    """A transport-class failure reported by the server (e.g. service
+    restarting) is retried with backoff instead of raised on first
+    sight — unlike terminal errors such as QueryError."""
+    from repro.errors import ServiceUnavailableError
+
+    attempts = []
+
+    def flaky(argument):
+        attempts.append(1)
+        if len(attempts) < 2:
+            raise ServiceUnavailableError("warming up")
+        return "ready"
+
+    server = RpcServer(bus, "server")
+    server.register("flaky", flaky)
+    assert client.call("server", "flaky") == "ready"
+    assert len(attempts) == 2
+
+
+def test_retryable_remote_error_raised_when_attempts_exhaust(bus, client):
+    from repro.errors import ServiceUnavailableError
+
+    def always_down(argument):
+        raise ServiceUnavailableError("still warming up")
+
+    server = RpcServer(bus, "server")
+    server.register("down", always_down)
+    with pytest.raises(ServiceUnavailableError, match="warming up"):
+        client.call("server", "down")
+
+
+def test_response_carries_typed_code(bus, echo_server, client):
+    with pytest.raises(QueryError) as excinfo:
+        client.call("server", "fail")
+    assert excinfo.value.code == "query"
+    assert not excinfo.value.retryable
+
+
+def test_service_time_models_a_busy_worker(bus):
+    """With service_time_ms set, replies queue behind one another: two
+    back-to-back requests complete ~service_time apart, not together."""
+    server = RpcServer(bus, "server", service_time_ms=40.0)
+    server.register("echo", lambda argument: argument)
+    client = RpcClient(bus, "client", RetryPolicy(timeout_ms=500.0))
+    first = client.begin("server", "echo", 1)
+    second = client.begin("server", "echo", 2)
+    bus.run_until_idle()
+    assert client.has_response(first) and client.has_response(second)
+    # request lands at 10ms; first reply leaves at 50, second at 90.
+    assert bus.clock_ms == pytest.approx(100.0)
+    assert server.busy_until_ms == pytest.approx(90.0)
 
 
 def test_permanent_failure_times_out_after_bounded_attempts(bus, client):

@@ -10,6 +10,7 @@ from repro.core.issuer import CertificateIssuer
 from repro.core.superlight import SuperlightClient
 from repro.crypto import generate_keypair
 from repro.merkle.aggtree import Aggregate
+from repro.query.api import AggregateQuery, QueryAnswer
 from repro.query.indexes import BalanceAggregateIndexSpec
 from repro.sgx.attestation import AttestationService
 from tests.conftest import fresh_vm
@@ -61,6 +62,19 @@ def world():
 ALICE_BALANCES = {1: 100, 2: 110, 3: 85, 4: 90, 5: 130, 6: 100, 7: 115}
 
 
+def verify_agg(client, name, answer):
+    """Check a bare AggregateAnswer through the unified typed API."""
+    request = AggregateQuery(
+        index=name,
+        account=answer.account,
+        t_from=answer.t_from,
+        t_to=answer.t_to,
+    )
+    return client.verify_answer(
+        request, QueryAnswer(request=request, payload=answer)
+    )
+
+
 def test_certified_roots_track_index(world):
     issuer = world["issuer"]
     assert issuer.index_root("balances") == issuer.indexes["balances"].root
@@ -73,7 +87,7 @@ def test_full_window_aggregate(world):
         count=len(values), total=sum(values),
         minimum=min(values), maximum=max(values),
     )
-    assert world["client"].verify_aggregate("balances", answer)
+    assert verify_agg(world["client"], "balances", answer)
     assert answer.average == pytest.approx(sum(values) / len(values))
 
 
@@ -83,19 +97,19 @@ def test_partial_window_aggregate(world):
     assert answer.aggregate == Aggregate(
         count=3, total=sum(values), minimum=min(values), maximum=max(values)
     )
-    assert world["client"].verify_aggregate("balances", answer)
+    assert verify_agg(world["client"], "balances", answer)
 
 
 def test_empty_window(world):
     answer = world["issuer"].indexes["balances"].query_aggregate("alice", 100, 200)
     assert answer.aggregate is None
-    assert world["client"].verify_aggregate("balances", answer)
+    assert verify_agg(world["client"], "balances", answer)
 
 
 def test_unknown_account(world):
     answer = world["issuer"].indexes["balances"].query_aggregate("charlie", 1, 7)
     assert answer.aggregate is None and answer.lower_root is None
-    assert world["client"].verify_aggregate("balances", answer)
+    assert verify_agg(world["client"], "balances", answer)
 
 
 def test_forged_total_rejected(world):
@@ -104,13 +118,13 @@ def test_forged_total_rejected(world):
         answer,
         aggregate=replace(answer.aggregate, total=answer.aggregate.total + 1),
     )
-    assert not world["client"].verify_aggregate("balances", forged)
+    assert not verify_agg(world["client"], "balances", forged)
 
 
 def test_window_bounds_checked(world):
     answer = world["issuer"].indexes["balances"].query_aggregate("alice", 3, 5)
     widened = replace(answer, t_from=1, t_to=7)
-    assert not world["client"].verify_aggregate("balances", widened)
+    assert not verify_agg(world["client"], "balances", widened)
 
 
 def test_bob_transfers_indexed_too(world):
@@ -118,7 +132,7 @@ def test_bob_transfers_indexed_too(world):
     answer = world["issuer"].indexes["balances"].query_aggregate("bob", 1, 7)
     assert answer.aggregate is not None
     assert answer.aggregate.count >= 2  # create + at least one payment
-    assert world["client"].verify_aggregate("balances", answer)
+    assert verify_agg(world["client"], "balances", answer)
 
 
 def test_augmented_scheme_certifies_aggregate_index(world):

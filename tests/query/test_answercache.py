@@ -1,0 +1,141 @@
+"""The verified-answer cache: LRU mechanics, invalidation, and the
+byte-identity property (a cached answer is indistinguishable on the
+wire from a fresh one computed at the same certified root)."""
+
+import pytest
+
+from repro.chain.genesis import make_genesis
+from repro.core import (
+    IssuerService,
+    RemoteSuperlightClient,
+    compute_expected_measurement,
+)
+from repro.net import (
+    HealthPolicy,
+    MessageBus,
+    QueryGateway,
+    RetryPolicy,
+    wire,
+)
+from repro.query import HistoryQuery, QueryAnswer, QueryService
+from repro.query.answercache import VerifiedAnswerCache
+from repro.query.provider import QueryServiceProvider
+from tests.conftest import fresh_vm
+
+
+def req(i: int) -> HistoryQuery:
+    return HistoryQuery(index="history", account=f"k{i}", t_from=1, t_to=10)
+
+
+def ans(i: int) -> QueryAnswer:
+    return QueryAnswer(request=req(i), payload=i)
+
+
+ROOT = b"\x11" * 32
+OTHER = b"\x22" * 32
+
+
+# -- unit mechanics ----------------------------------------------------------
+
+
+def test_miss_then_hit_counts():
+    cache = VerifiedAnswerCache(capacity=4)
+    assert cache.get(req(0), ROOT) is None
+    cache.put(req(0), ROOT, ans(0))
+    assert cache.get(req(0), ROOT) == ans(0)
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_same_request_different_root_is_a_miss():
+    cache = VerifiedAnswerCache(capacity=4)
+    cache.put(req(0), ROOT, ans(0))
+    assert cache.get(req(0), OTHER) is None
+
+
+def test_lru_evicts_least_recently_used():
+    cache = VerifiedAnswerCache(capacity=2)
+    cache.put(req(0), ROOT, ans(0))
+    cache.put(req(1), ROOT, ans(1))
+    cache.get(req(0), ROOT)  # touch 0 so 1 becomes the eviction victim
+    cache.put(req(2), ROOT, ans(2))
+    assert len(cache) == 2
+    assert cache.evictions == 1
+    assert cache.get(req(1), ROOT) is None
+    assert cache.get(req(0), ROOT) == ans(0)
+    assert cache.get(req(2), ROOT) == ans(2)
+
+
+def test_retain_roots_sweeps_superseded_entries():
+    cache = VerifiedAnswerCache(capacity=8)
+    cache.put(req(0), ROOT, ans(0))
+    cache.put(req(1), ROOT, ans(1))
+    cache.put(req(2), OTHER, ans(2))
+    assert cache.retain_roots([OTHER]) == 2
+    assert cache.invalidations == 2
+    assert len(cache) == 1
+    assert cache.get(req(2), OTHER) == ans(2)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        VerifiedAnswerCache(capacity=0)
+
+
+# -- the byte-identity property ---------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fleet(certified_setup):
+    chain = certified_setup["chain"]
+    genesis, state = make_genesis()
+    provider = QueryServiceProvider(
+        genesis, state, fresh_vm(), chain.pow,
+        list(certified_setup["specs"].values()),
+    )
+    for block in chain.blocks[1:]:
+        provider.ingest_block(block)
+    bus = MessageBus(default_latency_ms=10.0)
+    IssuerService(bus, "ci", certified_setup["issuer"])
+    for name in ("sp1", "sp2"):
+        QueryService(bus, name, provider)
+    gateway = QueryGateway(
+        bus, "gw", ["sp1", "sp2"],
+        policy=RetryPolicy(timeout_ms=120.0, max_attempts=1),
+        health=HealthPolicy(failure_threshold=2),
+    )
+    measurement = compute_expected_measurement(
+        certified_setup["genesis"].header.header_hash(),
+        certified_setup["ias"].public_key,
+        fresh_vm(),
+        chain.pow.difficulty_bits,
+        certified_setup["specs"],
+    )
+    client = RemoteSuperlightClient(
+        bus, "client", measurement, certified_setup["ias"].public_key,
+        issuers=["ci"], gateway=gateway,
+    )
+    client.bootstrap()
+    return {"client": client, "provider": provider, "gateway": gateway}
+
+
+def test_cached_answer_is_byte_identical_to_fresh(fleet):
+    """Property: for every request shape, the answer served from the
+    warm cache encodes to exactly the bytes a fresh provider execution
+    yields at the same certified root."""
+    client, provider = fleet["client"], fleet["provider"]
+    requests = [req(i) for i in range(4)]
+    for request in requests:
+        cold = client.query(request)          # fills the cache
+        warm = client.query(request)          # served from the cache
+        fresh = provider.execute(request)     # recomputed at the same root
+        assert wire.encode(warm) == wire.encode(cold) == wire.encode(fresh)
+
+
+def test_warm_hits_do_zero_rpc_round_trips(fleet):
+    client = fleet["client"]
+    request = req(0)
+    client.query(request)  # warm (possibly already from the other test)
+    calls_before = client.rpc.calls + fleet["gateway"].rpc.calls
+    answer = client.query(request)
+    assert isinstance(answer, QueryAnswer)
+    assert client.rpc.calls + fleet["gateway"].rpc.calls == calls_before

@@ -4,6 +4,7 @@ import pytest
 
 from repro.chain.genesis import make_genesis
 from repro.errors import QueryError
+from repro.query.api import HistoryQuery, KeywordQuery
 from repro.query.indexes import AccountHistoryIndexSpec, KeywordIndexSpec
 from repro.query.provider import QueryServiceProvider
 from tests.conftest import fresh_vm
@@ -39,7 +40,9 @@ def test_sp_roots_match_ci_roots(provider, certified_setup):
 def test_history_query_against_certified_root(provider, certified_setup):
     from repro.query.verifier import verify_history_answer
 
-    answer = provider.query_history("history", "k2", 1, 10)
+    answer = provider.execute(
+        HistoryQuery(index="history", account="k2", t_from=1, t_to=10)
+    ).payload
     assert len(answer.versions) >= 1
     root = certified_setup["issuer"].index_root("history")
     assert verify_history_answer(root, answer)
@@ -48,14 +51,18 @@ def test_history_query_against_certified_root(provider, certified_setup):
 def test_keyword_query_against_certified_root(provider, certified_setup):
     from repro.query.verifier import verify_keyword_answer
 
-    answer = provider.query_keywords("keyword", ["v2"])
+    answer = provider.execute(
+        KeywordQuery(index="keyword", keywords=("v2",))
+    ).payload
     assert len(answer.results) == 1
     root = certified_setup["issuer"].index_root("keyword")
     assert verify_keyword_answer(root, answer)
 
 
 def test_baseline_answers_same_versions(provider):
-    dcert = provider.query_history("history", "k2", 1, 10)
+    dcert = provider.execute(
+        HistoryQuery(index="history", account="k2", t_from=1, t_to=10)
+    ).payload
     baseline = provider.query_history_baseline("history", "k2", 1, 10)
     assert dcert.versions == baseline.versions
 
@@ -70,10 +77,16 @@ def test_baseline_answer_verifies(provider):
 
 def test_unknown_index_rejected(provider):
     with pytest.raises(QueryError):
-        provider.query_history("nope", "k1", 1, 2)
+        provider.execute(
+            HistoryQuery(index="nope", account="k1", t_from=1, t_to=2)
+        )
     with pytest.raises(QueryError):
-        provider.query_keywords("history", ["x"])  # wrong kind
+        provider.execute(
+            KeywordQuery(index="history", keywords=("x",))  # wrong kind
+        )
     with pytest.raises(QueryError):
-        provider.query_history("keyword", "k1", 1, 2)  # wrong kind
+        provider.execute(
+            HistoryQuery(index="keyword", account="k1", t_from=1, t_to=2)
+        )
     with pytest.raises(QueryError):
         provider.query_history_baseline("keyword", "k1", 1, 2)

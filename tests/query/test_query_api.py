@@ -174,28 +174,25 @@ def test_keyword_request_canonicalizes_list_input():
     assert request == KeywordQuery(index="keyword", keywords=("b", "a"))
 
 
-def test_deprecated_wrappers_warn_and_match_execute(api_world):
-    provider, height = api_world
-    with pytest.warns(DeprecationWarning, match="query_history"):
-        legacy = provider.query_history("history", "k1", 1, height)
-    assert legacy == provider.execute(
-        HistoryQuery(index="history", account="k1", t_from=1, t_to=height)
-    ).payload
+def test_removed_legacy_wrappers_raise_attribute_error(api_world):
+    """The pre-typed-API surface is gone, not deprecated: the per-type
+    ``query_*`` provider methods and ``verify_*`` client wrappers were
+    removed in PR 5 and must fail loudly, not warn."""
+    from repro.core.superlight import SuperlightClient
 
-    with pytest.warns(DeprecationWarning, match="query_aggregate"):
-        legacy = provider.query_aggregate("aggregate", "a1", 1, height)
-    assert legacy == provider.execute(
-        AggregateQuery(index="aggregate", account="a1", t_from=1, t_to=height)
-    ).payload
-
-    with pytest.warns(DeprecationWarning, match="query_value_range"):
-        legacy = provider.query_value_range("range", 0, 10_000)
-    assert legacy == provider.execute(
-        ValueRangeQuery(index="range", lo=0, hi=10_000)
-    ).payload
-
-    with pytest.warns(DeprecationWarning, match="query_keywords"):
-        legacy = provider.query_keywords("keyword", ["k1"])
-    assert legacy == provider.execute(
-        KeywordQuery(index="keyword", keywords=("k1",))
-    ).payload
+    provider, _height = api_world
+    for removed in (
+        "query_history",
+        "query_aggregate",
+        "query_value_range",
+        "query_keywords",
+    ):
+        with pytest.raises(AttributeError):
+            getattr(provider, removed)
+    for removed in (
+        "verify_history",
+        "verify_aggregate",
+        "verify_value_range",
+        "verify_keyword",
+    ):
+        assert not hasattr(SuperlightClient, removed)

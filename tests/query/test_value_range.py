@@ -9,6 +9,7 @@ from repro.chain.transaction import sign_transaction
 from repro.core.issuer import CertificateIssuer
 from repro.core.superlight import SuperlightClient
 from repro.crypto import generate_keypair
+from repro.query.api import QueryAnswer, ValueRangeQuery
 from repro.query.indexes import (
     ValueRangeIndex,
     ValueRangeIndexSpec,
@@ -61,6 +62,14 @@ def current_balances():
     return {"alice": 175, "bob": 350, "carol": 200, "dave": 175}
 
 
+def verify_range(client, name, answer):
+    """Check a bare ValueRangeAnswer through the unified typed API."""
+    request = ValueRangeQuery(index=name, lo=answer.lo, hi=answer.hi)
+    return client.verify_answer(
+        request, QueryAnswer(request=request, payload=answer)
+    )
+
+
 def test_certified_root_tracks_index(world):
     issuer = world["issuer"]
     assert issuer.index_root("range") == issuer.indexes["range"].root
@@ -74,7 +83,7 @@ def test_range_query_returns_current_holders(world):
         if 100 <= value <= 400
     )
     assert sorted(answer.matches) == expected
-    assert world["client"].verify_value_range("range", answer)
+    assert verify_range(world["client"], "range", answer)
 
 
 def test_stale_values_are_tombstoned(world):
@@ -83,20 +92,20 @@ def test_stale_values_are_tombstoned(world):
     assert all(account != "alice" for _, account in answer.matches)
     answer2 = world["issuer"].indexes["range"].query_range(450, 550)
     assert answer2.matches == ()
-    assert world["client"].verify_value_range("range", answer2)
+    assert verify_range(world["client"], "range", answer2)
 
 
 def test_equal_values_both_reported(world):
     answer = world["issuer"].indexes["range"].query_range(175, 175)
     assert sorted(account for _, account in answer.matches) == ["alice", "dave"]
-    assert world["client"].verify_value_range("range", answer)
+    assert verify_range(world["client"], "range", answer)
 
 
 def test_withheld_match_rejected(world):
     answer = world["issuer"].indexes["range"].query_range(100, 400)
     assert len(answer.matches) >= 2
     withheld = replace(answer, matches=answer.matches[:-1])
-    assert not world["client"].verify_value_range("range", withheld)
+    assert not verify_range(world["client"], "range", withheld)
 
 
 def test_resurrected_tombstone_rejected(world):
@@ -109,25 +118,25 @@ def test_resurrected_tombstone_rejected(world):
     resurrected = replace(
         answer, matches=answer.matches + ((100, "alice"),)
     )
-    assert not world["client"].verify_value_range("range", resurrected)
+    assert not verify_range(world["client"], "range", resurrected)
 
 
 def test_wrong_window_rejected(world):
     answer = world["issuer"].indexes["range"].query_range(100, 200)
     widened = replace(answer, lo=0, hi=1000)
-    assert not world["client"].verify_value_range("range", widened)
+    assert not verify_range(world["client"], "range", widened)
 
 
 def test_component_roots_bound_to_combined(world):
     answer = world["issuer"].indexes["range"].query_range(100, 400)
     forged = replace(answer, tree_root=bytes(32))
-    assert not world["client"].verify_value_range("range", forged)
+    assert not verify_range(world["client"], "range", forged)
 
 
 def test_empty_window(world):
     answer = world["issuer"].indexes["range"].query_range(10_000, 20_000)
     assert answer.matches == ()
-    assert world["client"].verify_value_range("range", answer)
+    assert verify_range(world["client"], "range", answer)
 
 
 def test_spec_rejects_mismatched_proofs(world):
