@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench lint selftest check metrics proptest chaos fleet-bench fleet-smoke
+.PHONY: test bench lint selftest check metrics proptest chaos fleet-bench fleet-smoke push-bench push-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -22,7 +22,7 @@ proptest:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/fault -q
 
-check: lint test chaos fleet-smoke
+check: lint test chaos fleet-smoke push-smoke
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -37,6 +37,18 @@ fleet-bench:
 # The same sweep at a tiny batch size, as a smoke tier for `make check`.
 fleet-smoke:
 	REPRO_FLEET_QUERIES=8 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_fleet_scaling.py -q
+
+# Push-vs-poll benchmark (benchmarks/test_push_vs_poll.py): total RPC
+# round trips to keep a client fleet at the certified tip, streamed vs
+# polled, plus the disconnect/resync byte-identity check.
+# REPRO_PUSH_CLIENTS=n sizes the fleet (default 64) and
+# REPRO_PUSH_BLOCKS=n the stream length (default 12).
+push-bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_push_vs_poll.py -q -s
+
+# The same run with a small fleet, as a smoke tier for `make check`.
+push-smoke:
+	REPRO_PUSH_CLIENTS=8 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_push_vs_poll.py -q
 
 lint:
 	bash scripts/lint.sh

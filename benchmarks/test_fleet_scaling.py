@@ -30,8 +30,9 @@ from repro.chain.genesis import make_genesis
 from repro.chain.transaction import sign_transaction
 from repro.core import (
     CertificateIssuer,
-    RemoteSuperlightClient,
+    ClientConfig,
     compute_expected_measurement,
+    connect,
 )
 from repro.core.issuer import IssuerService
 from repro.net import HealthPolicy, MessageBus, QueryGateway, RetryPolicy
@@ -103,10 +104,11 @@ def _make_fleet(world, replicas: int, queries: int):
         ),
         health=HealthPolicy(failure_threshold=2),
     )
-    client = RemoteSuperlightClient(
-        bus, "client", measurement, ias.public_key,
-        issuers=["ci"], gateway=gateway,
-    )
+    client = connect(ClientConfig(
+        measurement=measurement, ias_public_key=ias.public_key,
+        bus=bus, name="client",
+        issuers=("ci",), gateway=gateway,
+    ))
     client.bootstrap()
     return bus, client, gateway
 

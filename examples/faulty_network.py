@@ -29,9 +29,10 @@ from repro.chain.vm import VM
 from repro.contracts import BLOCKBENCH
 from repro.core import (
     CertificateIssuer,
+    ClientConfig,
     IssuerService,
-    RemoteSuperlightClient,
     compute_expected_measurement,
+    connect,
 )
 from repro.crypto import generate_keypair
 from repro.errors import ServiceUnavailableError
@@ -118,12 +119,13 @@ def main() -> None:
         genesis.header.header_hash(), ias.public_key, fresh_vm(),
         builder.pow.difficulty_bits, {spec.name: spec},
     )
-    client = RemoteSuperlightClient(
-        bus, "client", measurement, ias.public_key,
-        issuers=["ci"], providers=["sp1", "sp2"],
+    client = connect(ClientConfig(
+        measurement=measurement, ias_public_key=ias.public_key,
+        bus=bus, name="client",
+        issuers=("ci",), providers=("sp1", "sp2"),
         policy=RetryPolicy(timeout_ms=150.0, max_attempts=3),
         integrity_retries=1,
-    )
+    ))
 
     print("\nAct 1: bootstrap over RPC (30% loss on the SP1 links)...")
     client.bootstrap()

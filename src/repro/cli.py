@@ -45,7 +45,12 @@ def _fresh_vm():
     return vm
 
 
-def _build_world(blocks: int = 10, block_size: int = 3, batch_size: int = 1):
+def _build_world(
+    blocks: int = 10,
+    block_size: int = 3,
+    batch_size: int = 1,
+    hold_back: int = 0,
+):
     from repro.chain import ChainBuilder
     from repro.chain.genesis import make_genesis
     from repro.chain.transaction import sign_transaction
@@ -81,13 +86,16 @@ def _build_world(blocks: int = 10, block_size: int = 3, batch_size: int = 1):
         index_specs=[spec], ias=ias, key_seed=b"cli-enclave",
         proof_cache_entries=256 if batch_size > 1 else 0,
     )
+    # ``hold_back`` keeps the newest blocks mined-but-uncertified so a
+    # command can certify them later (the push-stream demonstrations).
+    to_certify = builder.blocks[1 : len(builder.blocks) - hold_back]
     if batch_size > 1:
         pipeline = CertificationPipeline(issuer, batch_size=batch_size)
-        for block in builder.blocks[1:]:
+        for block in to_certify:
             pipeline.submit(block)
         pipeline.close()
     else:
-        for block in builder.blocks[1:]:
+        for block in to_certify:
             issuer.process_block(block)
     return builder, issuer, ias, spec, genesis, vm
 
@@ -163,23 +171,38 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def _network_world(blocks: int, drop: float, seed: int):
     """The Fig. 2 deployment on the simulated network: a CI and two SPs
-    (with a lossy link to sp1) serving one remote superlight client."""
+    (with a lossy link to sp1) serving one remote superlight client,
+    with a subscription hub mounted on the CI endpoint.  The newest
+    mined block is held back uncertified so commands can demonstrate
+    push propagation (``world.issuer.process_block(world.held_back)``).
+    """
+    from types import SimpleNamespace
+
     from repro.chain.genesis import make_genesis
     from repro.core import (
+        ClientConfig,
         IssuerService,
-        RemoteSuperlightClient,
         compute_expected_measurement,
+        connect,
     )
-    from repro.net import FaultInjector, LinkFaults, MessageBus, RetryPolicy
+    from repro.net import (
+        FaultInjector,
+        LinkFaults,
+        MessageBus,
+        RetryPolicy,
+        SubscriptionHub,
+    )
     from repro.query import QueryService, QueryServiceProvider
 
-    builder, issuer, ias, spec, genesis, vm = _build_world(blocks=blocks)
+    builder, issuer, ias, spec, genesis, vm = _build_world(
+        blocks=blocks, hold_back=1
+    )
 
     sp_genesis, sp_state = make_genesis(network="cli")
     provider = QueryServiceProvider(
         sp_genesis, sp_state, _fresh_vm(), builder.pow, [spec]
     )
-    for block in builder.blocks[1:]:
+    for block in builder.blocks[1:-1]:
         provider.ingest_block(block)
 
     bus = MessageBus(default_latency_ms=20.0)
@@ -187,7 +210,9 @@ def _network_world(blocks: int, drop: float, seed: int):
     injector.set_link("client", "sp1", LinkFaults(drop_rate=drop))
     injector.set_link("sp1", "client", LinkFaults(drop_rate=drop))
     bus.install_faults(injector)
-    IssuerService(bus, "ci", issuer)
+    service = IssuerService(bus, "ci", issuer)
+    hub = SubscriptionHub.embedded(service)
+    hub.attach(issuer)
     QueryService(bus, "sp1", provider)
     QueryService(bus, "sp2", provider)
 
@@ -195,21 +220,25 @@ def _network_world(blocks: int, drop: float, seed: int):
         genesis.header.header_hash(), ias.public_key, _fresh_vm(),
         builder.pow.difficulty_bits, {spec.name: spec},
     )
-    client = RemoteSuperlightClient(
-        bus, "client", measurement, ias.public_key,
-        issuers=["ci"], providers=["sp1", "sp2"],
+    client = connect(ClientConfig(
+        measurement=measurement, ias_public_key=ias.public_key,
+        bus=bus, name="client",
+        issuers=("ci",), providers=("sp1", "sp2"), hub="ci",
         policy=RetryPolicy(timeout_ms=200.0, max_attempts=3),
+    ))
+    return SimpleNamespace(
+        builder=builder, bus=bus, injector=injector, client=client,
+        hub=hub, issuer=issuer, provider=provider,
+        held_back=builder.blocks[-1],
     )
-    return builder, bus, injector, client
 
 
 def cmd_demo_network(args: argparse.Namespace) -> int:
     from repro.query import HistoryQuery
 
-    print(f"Mining and certifying {args.blocks} blocks...")
-    builder, bus, injector, client = _network_world(
-        args.blocks, args.drop, args.seed
-    )
+    print(f"Mining {args.blocks} blocks, certifying all but the newest...")
+    world = _network_world(args.blocks, args.drop, args.seed)
+    builder, bus, client = world.builder, world.bus, world.client
     print(f"Remote client bootstrapping over RPC "
           f"(dropping {args.drop:.0%} of messages to/from sp1)...")
     client.bootstrap()
@@ -217,7 +246,8 @@ def cmd_demo_network(args: argparse.Namespace) -> int:
           f"storing {client.storage_bytes():,} bytes")
 
     request = HistoryQuery(
-        index="history", account="acct1", t_from=1, t_to=builder.height
+        index="history", account="acct1", t_from=1,
+        t_to=client.latest_header.height,
     )
     answer = client.query(request)
     print(f"Verified query over RPC: {len(answer.payload.versions)} versions "
@@ -225,41 +255,59 @@ def cmd_demo_network(args: argparse.Namespace) -> int:
     print(f"  retries/timeouts: {client.rpc.timeouts}, "
           f"failovers: {client.failovers}, "
           f"integrity failures: {client.integrity_failures}")
+
+    print("Subscribing to the push stream; the CI certifies one more block...")
+    client.subscribe()
+    calls_before = client.rpc.calls
+    world.issuer.process_block(world.held_back)
+    world.provider.ingest_block(world.held_back)
+    bus.run_until_idle()
+    print(f"  pushed tip at height {client.latest_header.height} adopted "
+          f"with {client.rpc.calls - calls_before} client RPC round trips "
+          f"({client.push_adopted} push adoptions)")
     print(f"  virtual network time: {bus.clock_ms:.0f} ms")
-    for link, counts in injector.summary().items():
+    for link, counts in world.injector.summary().items():
         print(f"  {link}: {counts}")
-    return 0
+    return 0 if client.push_adopted else 1
 
 
 def _fleet_world(blocks: int, replicas: int, service_ms: float,
                  balancer: str, seed: int):
     """A load-balanced SP fleet behind a QueryGateway: one CI, N
     busy-worker QueryService replicas, one remote superlight client
-    with a verified-answer cache."""
+    with a verified-answer cache, and a subscription hub on the CI."""
+    from types import SimpleNamespace
+
     from repro.chain.genesis import make_genesis
     from repro.core import (
+        ClientConfig,
         IssuerService,
-        RemoteSuperlightClient,
         compute_expected_measurement,
+        connect,
     )
     from repro.net import (
         HealthPolicy,
         MessageBus,
         QueryGateway,
         RetryPolicy,
+        SubscriptionHub,
     )
     from repro.query import QueryService, QueryServiceProvider
 
-    builder, issuer, ias, spec, genesis, vm = _build_world(blocks=blocks)
+    builder, issuer, ias, spec, genesis, vm = _build_world(
+        blocks=blocks, hold_back=1
+    )
     sp_genesis, sp_state = make_genesis(network="cli")
     provider = QueryServiceProvider(
         sp_genesis, sp_state, _fresh_vm(), builder.pow, [spec]
     )
-    for block in builder.blocks[1:]:
+    for block in builder.blocks[1:-1]:
         provider.ingest_block(block)
 
     bus = MessageBus(default_latency_ms=10.0)
-    IssuerService(bus, "ci", issuer)
+    service = IssuerService(bus, "ci", issuer)
+    hub = SubscriptionHub.embedded(service)
+    hub.attach(issuer)
     names = [f"sp{i + 1}" for i in range(replicas)]
     services = {
         name: QueryService(bus, name, provider, service_time_ms=service_ms)
@@ -276,19 +324,27 @@ def _fleet_world(blocks: int, replicas: int, service_ms: float,
         genesis.header.header_hash(), ias.public_key, _fresh_vm(),
         builder.pow.difficulty_bits, {spec.name: spec},
     )
-    client = RemoteSuperlightClient(
-        bus, "client", measurement, ias.public_key,
-        issuers=["ci"], gateway=gateway,
+    client = connect(ClientConfig(
+        measurement=measurement, ias_public_key=ias.public_key,
+        bus=bus, name="client",
+        issuers=("ci",), gateway=gateway, hub="ci",
+    ))
+    return SimpleNamespace(
+        builder=builder, bus=bus, services=services, gateway=gateway,
+        client=client, hub=hub, issuer=issuer, provider=provider,
+        held_back=builder.blocks[-1],
     )
-    return builder, bus, services, gateway, client
 
 
 def cmd_demo_fleet(args: argparse.Namespace) -> int:
     from repro.query import HistoryQuery
 
-    print(f"Mining and certifying {args.blocks} blocks...")
-    builder, bus, services, gateway, client = _fleet_world(
+    print(f"Mining {args.blocks} blocks, certifying all but the newest...")
+    world = _fleet_world(
         args.blocks, args.replicas, args.service_ms, args.balancer, args.seed
+    )
+    builder, bus, services, gateway, client = (
+        world.builder, world.bus, world.services, world.gateway, world.client
     )
     client.bootstrap()
     print(f"Remote client adopted the certified tip at height "
@@ -350,9 +406,10 @@ def cmd_demo_crash(args: argparse.Namespace) -> int:
     from repro.chain.genesis import make_genesis
     from repro.chain.transaction import sign_transaction
     from repro.core import (
+        ClientConfig,
         IssuerService,
-        RemoteSuperlightClient,
         compute_expected_measurement,
+        connect,
     )
     from repro.core.recovery import DurableIssuer, recover_issuer
     from repro.crypto import generate_keypair
@@ -430,12 +487,13 @@ def cmd_demo_crash(args: argparse.Namespace) -> int:
             genesis.header.header_hash(), ias.public_key, _fresh_vm(),
             builder.pow.difficulty_bits, {spec.name: spec},
         )
-        client = RemoteSuperlightClient(
-            bus, "client", measurement, ias.public_key,
-            issuers=["ci"], providers=["sp"],
+        client = connect(ClientConfig(
+            measurement=measurement, ias_public_key=ias.public_key,
+            bus=bus, name="client",
+            issuers=("ci",), providers=("sp",),
             policy=RetryPolicy(timeout_ms=150.0, max_attempts=4,
                                backoff_base_ms=20.0),
-        )
+        ))
         client.bootstrap()
         pk_before = service.issuer.pk_enc.to_bytes()
         print(f"Remote client attested and adopted the certified tip at "
@@ -527,6 +585,67 @@ def cmd_selftest(_: argparse.Namespace) -> int:
     return 0
 
 
+def _components(world) -> dict:
+    """One JSON document covering every registered component of a demo
+    world — client, hub, gateway, replicas — for ``metrics --all``."""
+    client = world.client
+    components: dict = {
+        "client": {
+            "rpc_calls": client.rpc.calls,
+            "rpc_timeouts": client.rpc.timeouts,
+            "failovers": client.failovers,
+            "integrity_failures": client.integrity_failures,
+            "push_adopted": client.push_adopted,
+            "push_rejected": client.push_rejected,
+            "push_duplicates": client.push_duplicates,
+            "push_gaps": client.push_gaps,
+            "push_resyncs": client.push_resyncs,
+            "storage_bytes": client.storage_bytes(),
+        },
+        "hub": {
+            "published": world.hub.published,
+            "subscribers": len(world.hub.subscribers),
+            "reaped": world.hub.reaped,
+            "resyncs": world.hub.resyncs,
+            "latest_seq": world.hub.seq,
+        },
+    }
+    if client.cache is not None:
+        components["client"]["cache_hits"] = client.cache.hits
+        components["client"]["cache_misses"] = client.cache.misses
+        components["client"]["cache_entries"] = len(client.cache)
+    gateway = getattr(world, "gateway", None)
+    if gateway is not None:
+        components["gateway"] = {
+            "dispatches": gateway.rpc.calls,
+            "timeouts": gateway.rpc.timeouts,
+            "failovers": gateway.failovers,
+            "switches_verified": gateway.switches,
+            "healthy_replicas": sorted(gateway.healthy_replicas()),
+        }
+    services = getattr(world, "services", None)
+    if services is not None:
+        components["replicas"] = {
+            name: {
+                "requests_served": service.server.requests_served,
+                "requests_dropped": service.server.requests_dropped,
+            }
+            for name, service in services.items()
+        }
+    return components
+
+
+def _flatten(tree: dict, prefix: str = "") -> dict:
+    flat: dict = {}
+    for key, value in tree.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(_flatten(value, path))
+        else:
+            flat[path] = value
+    return flat
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     import json
 
@@ -537,27 +656,42 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     with obs.observability():
         obs.registry().reset()
         if args.replicas > 0:
-            builder, bus, _services, _gateway, client = _fleet_world(
+            world = _fleet_world(
                 args.blocks, args.replicas, 25.0, "round-robin", args.seed
             )
         else:
-            builder, bus, injector, client = _network_world(
-                args.blocks, args.drop, args.seed
-            )
+            world = _network_world(args.blocks, args.drop, args.seed)
+        bus, client = world.bus, world.client
         obs.set_virtual_clock(lambda: bus.clock_ms)
         try:
             client.bootstrap()
             request = HistoryQuery(
-                index="history", account="acct1", t_from=1, t_to=builder.height
+                index="history", account="acct1", t_from=1,
+                t_to=client.latest_header.height,
             )
             client.query(request)
             client.query(request)  # the warm path: a cache hit
+            if args.all:
+                # Exercise the push tier too, so its metrics are live.
+                client.subscribe()
+                world.issuer.process_block(world.held_back)
+                world.provider.ingest_block(world.held_back)
+                bus.run_until_idle()
+                client.heartbeat()
             snapshot = obs.registry().snapshot()
         finally:
             obs.set_virtual_clock(None)
+    if args.all:
+        snapshot = {"registry": snapshot, "components": _components(world)}
     if args.json:
         print(json.dumps(snapshot, indent=2, sort_keys=True))
         return 0
+    if args.all:
+        print_table(
+            "Components", ["component.metric", "value"],
+            sorted(_flatten(snapshot["components"]).items()),
+        )
+        snapshot = snapshot["registry"]
     print_table(
         "Counters", ["counter", "value"],
         sorted(snapshot["counters"].items()),
@@ -655,6 +789,12 @@ def main(argv: list[str] | None = None) -> int:
     metrics.add_argument(
         "--json", action="store_true",
         help="emit the raw metrics snapshot as JSON",
+    )
+    metrics.add_argument(
+        "--all", action="store_true",
+        help="snapshot every registered component (client, hub, gateway, "
+             "replicas) together with the metrics registry in one document, "
+             "exercising the push stream along the way",
     )
     args = parser.parse_args(argv)
     handlers = {

@@ -16,12 +16,14 @@
   (``SuperlightClient``) or over RPC with failover
   (``RemoteSuperlightClient``).
 * :mod:`client_api` — the :class:`LightClient` protocol both client
-  flavors implement (one verification surface, two transports).
+  flavors implement (one verification + streaming surface, two
+  transports), plus :class:`ClientConfig` and the :func:`connect`
+  factory — the canonical way to build any client shape.
 """
 
 from repro.core.batch import BatchItem, IndexUpdate
 from repro.core.certificate import Certificate
-from repro.core.client_api import LightClient
+from repro.core.client_api import ClientConfig, LightClient, connect
 from repro.core.digest import block_digest, index_digest
 from repro.core.enclave_program import DCertEnclaveProgram
 from repro.core.issuer import CertificateIssuer, CertifiedTip, IssuerService
@@ -46,6 +48,7 @@ __all__ = [
     "CertificateIssuer",
     "CertificationPipeline",
     "CertifiedTip",
+    "ClientConfig",
     "DCertEnclaveProgram",
     "DurableIssuer",
     "IndexUpdate",
@@ -60,6 +63,7 @@ __all__ = [
     "UpdateProof",
     "recover_issuer",
     "block_digest",
+    "connect",
     "bootstrap_full_node",
     "compute_expected_measurement",
     "export_snapshot",

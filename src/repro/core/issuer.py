@@ -22,6 +22,7 @@ indexes it certifies and drives either certification scheme:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro import obs
 from repro.chain.block import Block, BlockHeader
@@ -169,6 +170,10 @@ class CertificateIssuer:
         self._aug_certs: dict[str, Certificate | None] = {name: None for name in specs}
         self.latest_certificate: Certificate | None = None
         self.certified: list[CertifiedBlock] = []
+        #: Fired with each CertifiedBlock right after it is committed.
+        #: The subscription hub (repro.net.pubsub) attaches here; the
+        #: hook also fires through DurableIssuer's delegation.
+        self.on_certified: list[Callable[[CertifiedBlock], object]] = []
         # Batched-path state: the CI-side LRU mirror of the enclave's
         # carried proof slice, the key set the enclave is known to
         # cover (reconciled at every batch boundary), and the staging
@@ -362,7 +367,12 @@ class CertificateIssuer:
         if certificate is not None:
             self.latest_certificate = certificate
         self.certified.append(certified)
+        self._fire_certified(certified)
         return certified
+
+    def _fire_certified(self, certified: CertifiedBlock) -> None:
+        for hook in list(self.on_certified):
+            hook(certified)
 
     def _record_index_cert_metrics(self, index_proof) -> None:
         if obs.enabled():
@@ -513,6 +523,7 @@ class CertificateIssuer:
                 self._record_index_cert_metrics(entry.item.index_updates[name].proof)
             self.latest_certificate = certificate
             self.certified.append(certified)
+            self._fire_certified(certified)
             results.append(certified)
 
         if obs.enabled():

@@ -47,6 +47,10 @@ class SuperlightClient:
         # its storage bill).
         self._index_roots: dict[str, tuple[int, Digest]] = {}
         self._index_certs: dict[str, Certificate] = {}
+        # Streaming surface: tip-adoption callbacks and the issuer
+        # hooks a direct subscription installed (see subscribe()).
+        self._tip_callbacks: list = []
+        self._subscriptions: list[tuple[object, object]] = []
 
     # -- Alg. 3 ---------------------------------------------------------------
 
@@ -67,7 +71,61 @@ class SuperlightClient:
         if obs.enabled():
             obs.inc("client.chain_validations")
             obs.set_gauge("client.storage_bytes", self.storage_bytes())
+        for callback in list(self._tip_callbacks):
+            callback(header, cert)
         return True
+
+    # -- the streaming surface (LightClient protocol) -------------------------
+
+    def on_tip(self, callback):
+        """Register ``callback(header, certificate)`` to fire on every
+        adopted tip.  Returns the callback (decorator-friendly)."""
+        self._tip_callbacks.append(callback)
+        return callback
+
+    def subscribe(self, source=None) -> None:
+        """Attach directly to a local issuer: every block it certifies
+        from now on is validated and (if it wins chain selection)
+        adopted, exactly as the remote push path does over the wire.
+
+        ``source`` is a :class:`~repro.core.issuer.CertificateIssuer`
+        (or anything else exposing an ``on_certified`` hook list).
+        """
+        if source is None:
+            raise CertificateError(
+                "a local client subscribes directly to an issuer; pass it "
+                "as source="
+            )
+        hooks = getattr(source, "on_certified", None)
+        if hooks is None:
+            raise CertificateError(
+                f"{type(source).__name__} has no on_certified hook"
+            )
+        hook = self._ingest_certified
+        hooks.append(hook)
+        self._subscriptions.append((source, hook))
+
+    def unsubscribe(self) -> None:
+        """Detach from every subscribed issuer (idempotent)."""
+        for source, hook in self._subscriptions:
+            hooks = getattr(source, "on_certified", [])
+            if hook in hooks:
+                hooks.remove(hook)
+        self._subscriptions.clear()
+
+    def _ingest_certified(self, certified) -> bool:
+        """Adopt one issuer-certified block (tip + index certificates)."""
+        if certified.certificate is None:
+            return False  # augmented-only block: no hierarchical tip cert
+        header = getattr(certified, "header", None)
+        if header is None:
+            header = certified.block.header
+        adopted = self.validate_chain(header, certified.certificate)
+        for name, cert in certified.index_certificates.items():
+            self.validate_index_certificate(
+                name, header, certified.index_roots[name], cert
+            )
+        return adopted
 
     def validate_index_certificate(
         self, name: str, header: BlockHeader, index_root: Digest, cert: Certificate
@@ -263,41 +321,80 @@ class RemoteSuperlightClient:
 
     def __init__(
         self,
-        bus,
-        name: str,
-        expected_measurement: Digest,
-        ias_public_key: PublicKey,
+        bus=None,
+        name: str | None = None,
+        expected_measurement: Digest | None = None,
+        ias_public_key: PublicKey | None = None,
         *,
-        issuers: list[str],
+        issuers: list[str] | None = None,
         providers: list[str] | None = None,
         gateway=None,
         policy=None,
         integrity_retries: int = 2,
         cache_capacity: int = 128,
+        _config=None,
     ) -> None:
+        from repro.core.client_api import ClientConfig
         from repro.net.rpc import RetryPolicy, RpcClient
         from repro.query.answercache import VerifiedAnswerCache
 
-        if not issuers:
-            raise CertificateError("a remote client needs at least one issuer")
-        if (gateway is None) == (not providers):
-            raise CertificateError(
-                "a remote client needs either a provider list or a "
-                "query gateway (exactly one)"
+        if _config is None:
+            # Legacy direct construction: one release of grace behind
+            # connect(); it keeps the old "exactly one transport" rule.
+            import warnings
+
+            warnings.warn(
+                "constructing RemoteSuperlightClient directly is "
+                "deprecated; use repro.core.client_api.connect("
+                "ClientConfig(...))",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        self.client = SuperlightClient(expected_measurement, ias_public_key)
-        self.rpc = RpcClient(bus, name, policy or RetryPolicy())
-        self.issuers = list(issuers)
-        self.providers = list(providers or [])
-        self.gateway = gateway
-        if gateway is not None and gateway.verify_switch is None:
-            gateway.verify_switch = self._verify_replica_roots
+            if (gateway is None) == (not providers):
+                raise CertificateError(
+                    "a remote client needs either a provider list or a "
+                    "query gateway (exactly one)"
+                )
+            _config = ClientConfig(
+                measurement=expected_measurement,
+                ias_public_key=ias_public_key,
+                bus=bus,
+                name=name,
+                issuers=tuple(issuers or ()),
+                providers=tuple(providers or ()),
+                gateway=gateway,
+                policy=policy,
+                integrity_retries=integrity_retries,
+                cache_capacity=cache_capacity,
+            )
+        config = _config
+        config.validate()
+        self.config = config
+        self.client = SuperlightClient(config.measurement, config.ias_public_key)
+        self.rpc = RpcClient(config.bus, config.name, config.policy or RetryPolicy())
+        self.issuers = list(config.issuers)
+        self.providers = list(config.providers)
+        self.gateway = config.gateway
+        if self.gateway is not None and self.gateway.verify_switch is None:
+            self.gateway.verify_switch = self._verify_replica_roots
         self.cache = (
-            VerifiedAnswerCache(cache_capacity) if cache_capacity else None
+            VerifiedAnswerCache(config.cache_capacity)
+            if config.cache_capacity
+            else None
         )
-        self.integrity_retries = integrity_retries
+        self.integrity_retries = config.integrity_retries
         self.failovers = 0
         self.integrity_failures = 0
+        # -- push stream state (see subscribe()) --
+        self.hub = config.hub
+        self.subscribed = False
+        self._sub_seq = 0  # highest announcement seq verified-or-skipped
+        self._needs_resync = False
+        self.push_adopted = 0
+        self.push_rejected = 0
+        self.push_duplicates = 0
+        self.push_gaps = 0
+        self.push_resyncs = 0
 
     # -- certificate sync ---------------------------------------------------
 
@@ -370,6 +467,202 @@ class RemoteSuperlightClient:
             )
         if self.gateway is not None:
             self.gateway.reset_verified()
+
+    # -- push sync (the hub stream) -----------------------------------------
+
+    def on_tip(self, callback):
+        """Register ``callback(header, certificate)`` for every adopted
+        tip — pushed or polled.  Returns the callback."""
+        return self.client.on_tip(callback)
+
+    def subscribe(self, source=None) -> None:
+        """Subscribe to the configured :class:`~repro.net.pubsub
+        .SubscriptionHub` (or to the endpoint named by ``source``).
+
+        From here on, every block the issuer certifies is *pushed* to
+        this client; each announcement is verified with the standard
+        certificate check before the tip advances (a forged or replayed
+        announcement is discarded and counted, exactly like a bad
+        polled tip), and adopting one invalidates the verified-answer
+        cache the same way a polled sync does.  Announcements are
+        sequence-numbered: a gap (lost pushes, hub restart, our own
+        downtime) or a hub :class:`~repro.net.messages.LagNotice` marks
+        the stream for :meth:`resync`, which runs on the next
+        :meth:`heartbeat` (push handlers never issue blocking RPC).
+        """
+        from repro.errors import ServiceUnavailableError
+        from repro.net.pubsub import SubscriptionHub, push_topic
+
+        hub = source if isinstance(source, str) else self.hub
+        if hub is None:
+            raise ServiceUnavailableError(
+                "no hub configured: set ClientConfig.hub or pass the "
+                "endpoint name as source="
+            )
+        self.hub = hub
+        self.rpc.node.on(push_topic(self.rpc.name), self._on_push)
+        reply = self.rpc.call(hub, SubscriptionHub.SUBSCRIBE, self.rpc.name)
+        self._sub_seq = reply.latest_seq
+        self.subscribed = True
+        self._needs_resync = False
+        obs.inc("client.push_subscribes")
+
+    def unsubscribe(self) -> None:
+        """Leave the hub stream (idempotent)."""
+        from repro.net.pubsub import SubscriptionHub
+
+        if not self.subscribed:
+            return
+        self.subscribed = False
+        self.rpc.call(self.hub, SubscriptionHub.UNSUBSCRIBE, self.rpc.name)
+
+    def heartbeat(self):
+        """The periodic stream pump: resync if flagged, renew the lease.
+
+        Returns the hub's :class:`~repro.net.pubsub.HeartbeatReply`.
+        Also the recovery path: if the hub no longer knows us (it
+        restarted, or our lease expired), re-subscribe and catch up; if
+        it reports announcements beyond what we have seen and nothing
+        arrives (every in-window push lost), the hub retransmits the
+        unacked window in response to our acked sequence number.
+        """
+        from repro.errors import ServiceUnavailableError
+        from repro.net.pubsub import SubscriptionHub
+
+        if not self.subscribed:
+            raise ServiceUnavailableError("not subscribed; call subscribe()")
+        if self._needs_resync:
+            self.resync()
+        reply = self.rpc.call(
+            self.hub, SubscriptionHub.HEARTBEAT, (self.rpc.name, self._sub_seq)
+        )
+        if not reply.subscribed:
+            # Reaped (or the hub restarted): re-subscribe, then catch up
+            # from where we *actually* are — subscribe() positions the
+            # stream at the hub's tip, which would skip everything
+            # missed while we were away.
+            seen = self._sub_seq
+            self.subscribe()
+            self._sub_seq = min(seen, self._sub_seq)
+            self.resync()
+        elif reply.lagged or reply.latest_seq > self._sub_seq:
+            # Lagged, or announcements exist that never reached us.
+            # Retransmits may already be in flight after this
+            # heartbeat; resync() resolves either way with one pull.
+            self.resync()
+        return reply
+
+    def resync(self):
+        """Catch up over the pull path: fetch every retained
+        announcement past our sequence number, verify and adopt each,
+        and clear the lag/gap flag.  Returns the number adopted."""
+        from repro.net.pubsub import SubscriptionHub
+
+        reply = self.rpc.call(
+            self.hub, SubscriptionHub.SYNC_RANGE, (self.rpc.name, self._sub_seq + 1)
+        )
+        adopted = 0
+        for announcement in reply.announcements:
+            if self._adopt_announcement(announcement):
+                adopted += 1
+        self._sub_seq = max(self._sub_seq, reply.latest_seq)
+        self._needs_resync = False
+        self.push_resyncs += 1
+        obs.inc("client.push_resyncs")
+        return adopted
+
+    def _on_push(self, message) -> None:
+        """Bus handler for hub pushes — local verification only."""
+        from repro.errors import ReproError
+        from repro.net import wire
+        from repro.net.messages import LagNotice, PushEnvelope
+        from repro.net.pubsub import TipAnnouncement
+
+        if isinstance(message, LagNotice):
+            self.push_gaps += 1
+            self._needs_resync = True
+            obs.inc("client.push_lag_notices")
+            return
+        if not isinstance(message, PushEnvelope):
+            return
+        try:
+            announcement = wire.decode(message.payload)
+            if not isinstance(announcement, TipAnnouncement):
+                raise CertificateError("push payload is not a tip announcement")
+        except (ReproError, CertificateError):
+            # Corrupted or forged in flight.  Don't ack — the hub
+            # retransmits the genuine announcement on our next
+            # heartbeat.
+            self.push_rejected += 1
+            self.integrity_failures += 1
+            obs.inc("client.push_rejected")
+            return
+        if announcement.seq <= self._sub_seq:
+            self.push_duplicates += 1
+            obs.inc("client.push_duplicates")
+            self._ack()
+            return
+        if announcement.seq > self._sub_seq + 1:
+            # Gap: something between was lost or dropped-oldest.
+            self.push_gaps += 1
+            self._needs_resync = True
+            obs.inc("client.push_gaps")
+            return
+        try:
+            self._adopt_announcement(announcement)
+        except CertificateError:
+            self.push_rejected += 1
+            self.integrity_failures += 1
+            obs.inc("client.push_rejected")
+            return
+        self._sub_seq = announcement.seq
+        self._ack()
+
+    def _ack(self) -> None:
+        from repro.net.messages import StreamAck
+        from repro.net.pubsub import ack_topic
+
+        self.rpc.bus.send(
+            self.rpc.name,
+            self.hub,
+            ack_topic(self.hub),
+            StreamAck(subscriber=self.rpc.name, seq=self._sub_seq),
+        )
+
+    def _adopt_announcement(self, announcement) -> bool:
+        """Verify one announcement exactly as a polled tip; adopt it if
+        it wins chain selection.  Raises CertificateError on a forgery.
+
+        Verification is atomic: *every* certificate in the announcement
+        is checked before any client state moves, so a forged index
+        certificate cannot leave a half-adopted tip behind (the report
+        cache makes the re-check during adoption nearly free)."""
+        from repro.core.digest import index_digest
+
+        header = announcement.header
+        for index_name, cert in announcement.index_certificates.items():
+            root = announcement.index_roots.get(index_name)
+            if root is None:
+                raise CertificateError(
+                    f"announcement omits the root for index {index_name!r}"
+                )
+            self.client._check_certificate(cert, index_digest(header, root))
+        adopted = self.client.validate_chain(header, announcement.certificate)
+        if not adopted:
+            return False  # replayed/older tip: verified but not adopted
+        for index_name, cert in announcement.index_certificates.items():
+            self.client.validate_index_certificate(
+                index_name, header, announcement.index_roots[index_name], cert
+            )
+        self._roots_advanced()
+        self.push_adopted += 1
+        if obs.enabled():
+            obs.inc("client.push_adopted")
+            obs.observe(
+                "client.push_fanout_ms",
+                self.rpc.bus.clock_ms - announcement.published_at_ms,
+            )
+        return True
 
     # -- queries ------------------------------------------------------------
 

@@ -77,6 +77,10 @@ CATALOG: tuple[str, ...] = (
     # query service (repro.query.provider.QueryService).
     "query.execute.pre",         # request decoded, processing not started
     "query.execute.post",        # answer computed, reply not yet sent
+    # subscription hub (repro.net.pubsub.SubscriptionHub).
+    "pubsub.publish.pre",        # block certified, announcement not yet built
+    "pubsub.deliver.pre",        # mid-fanout: some subscribers already sent to
+    "pubsub.publish.post",       # fanout complete, caller not yet resumed
 )
 
 _KNOWN = frozenset(CATALOG)

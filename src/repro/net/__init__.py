@@ -15,7 +15,12 @@ deterministically and without sockets:
   simulated network as.
 * :mod:`faults` — per-link drop/delay/duplicate/corrupt injection with
   a seeded RNG, for failure-path tests and demos.
-* :mod:`messages` — broadcast message types (blocks, certificates).
+* :mod:`messages` — broadcast message types (blocks, certificates) and
+  the push-stream frames (envelopes, lag notices, acks).
+* :mod:`pubsub` — the certificate subscription hub: push-based tip
+  propagation with windowed backpressure, bounded outboxes, lag
+  markers, sequence-numbered announcements, catch-up pulls, and
+  lease-based subscriber reaping.
 * :mod:`gateway` — load-balanced routing over a fleet of QueryService
   replicas: balancing policies, per-replica health with probe-based
   recovery, failover with switch re-verification.
@@ -34,7 +39,14 @@ from repro.net.gateway import (
     SeededRandom,
     make_balancer,
 )
-from repro.net.messages import BlockAnnouncement, CertificateAnnouncement
+from repro.net.messages import (
+    BlockAnnouncement,
+    CertificateAnnouncement,
+    LagNotice,
+    PushEnvelope,
+    StreamAck,
+)
+from repro.net.pubsub import SubscriptionHub, TipAnnouncement
 from repro.net.rpc import RetryPolicy, RpcClient, RpcRequest, RpcResponse, RpcServer
 from repro.net.supervisor import (
     IssuerSupervisor,
@@ -48,10 +60,12 @@ __all__ = [
     "FaultInjector",
     "HealthPolicy",
     "IssuerSupervisor",
+    "LagNotice",
     "LeastOutstanding",
     "LinkFaults",
     "MessageBus",
     "NetworkNode",
+    "PushEnvelope",
     "QueryGateway",
     "ReplicaState",
     "RestartPolicy",
@@ -63,5 +77,8 @@ __all__ = [
     "RpcServer",
     "SeededRandom",
     "ServiceSupervisor",
+    "StreamAck",
+    "SubscriptionHub",
+    "TipAnnouncement",
     "make_balancer",
 ]

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass, field, replace
 
 from repro.chain.block import Block, BlockHeader
 from repro.core.certificate import Certificate
@@ -32,3 +33,43 @@ class CertificateAnnouncement:
     @property
     def topic(self) -> str:
         return "certificates"
+
+
+# -- the push stream (repro.net.pubsub) --------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PushEnvelope:
+    """One hub→subscriber push: a canonically wire-encoded
+    :class:`repro.net.pubsub.TipAnnouncement`.
+
+    The announcement crosses as *bytes* (like an RPC payload) so the
+    fault layer can corrupt it exactly as a real network would — the
+    subscriber must treat an undecodable or unverifiable envelope as a
+    forgery, never as a tip.
+    """
+
+    payload: bytes
+
+    def corrupted(self, rng: random.Random) -> "PushEnvelope":
+        from repro.net.faults import flip_hex_digit
+
+        return replace(self, payload=flip_hex_digit(self.payload, rng))
+
+
+@dataclass(frozen=True, slots=True)
+class LagNotice:
+    """Hub→subscriber: your outbox overflowed and announcements were
+    dropped oldest-first; pull ``hub.sync_range`` before resuming."""
+
+    latest_seq: int
+    dropped: int
+
+
+@dataclass(frozen=True, slots=True)
+class StreamAck:
+    """Subscriber→hub: cumulative ack up to ``seq`` (also renews the
+    subscriber's lease)."""
+
+    subscriber: str
+    seq: int

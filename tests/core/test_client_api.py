@@ -1,17 +1,18 @@
 """The unified LightClient surface: protocol conformance, the
-deprecated per-type verify wrappers, and the constant storage budget."""
+connect() factory, the streaming surface, and the storage budget."""
 
 import pytest
 
 from repro.chain import ChainBuilder
 from repro.chain.genesis import make_genesis
 from repro.chain.transaction import sign_transaction
-from repro.core.client_api import LightClient
+from repro.core.client_api import ClientConfig, LightClient, connect
 from repro.core.superlight import (
     RemoteSuperlightClient,
     SuperlightClient,
     compute_expected_measurement,
 )
+from repro.errors import ReproError
 from repro.crypto import generate_keypair
 from repro.net.bus import MessageBus
 from repro.query.api import (
@@ -101,12 +102,12 @@ def test_superlight_client_conforms(local_client):
 
 def test_remote_client_conforms(certified_setup):
     bus = MessageBus()
-    remote = RemoteSuperlightClient(
-        bus, "client",
-        certified_setup["issuer"].measurement,
-        certified_setup["ias"].public_key,
-        issuers=["ci"], providers=["sp"],
-    )
+    remote = connect(ClientConfig(
+        measurement=certified_setup["issuer"].measurement,
+        ias_public_key=certified_setup["ias"].public_key,
+        bus=bus, name="client",
+        issuers=("ci",), providers=("sp",),
+    ))
     assert isinstance(remote, LightClient)
 
 
@@ -123,14 +124,196 @@ def test_both_flavors_usable_through_the_protocol(certified_setup, local_client)
         return client.storage_bytes()
 
     bus = MessageBus()
-    remote = RemoteSuperlightClient(
-        bus, "client",
-        certified_setup["issuer"].measurement,
-        certified_setup["ias"].public_key,
-        issuers=["ci"], providers=["sp"],
-    )
+    remote = connect(ClientConfig(
+        measurement=certified_setup["issuer"].measurement,
+        ias_public_key=certified_setup["ias"].public_key,
+        bus=bus, name="client",
+        issuers=("ci",), providers=("sp",),
+    ))
     assert storage_of(local_client) == 0
     assert storage_of(remote) == 0
+
+
+def test_object_missing_streaming_surface_does_not_conform():
+    """The protocol now covers staying at the tip: a poll-only client
+    shape (everything but subscribe/unsubscribe/on_tip) is not a
+    LightClient."""
+
+    class PollOnly:
+        latest_header = None
+
+        def validate_chain(self, header, cert):
+            return False
+
+        def verify_answer(self, request, answer):
+            return False
+
+        def certified_index_root(self, name):
+            raise KeyError(name)
+
+        def storage_bytes(self):
+            return 0
+
+    assert not isinstance(PollOnly(), LightClient)
+
+
+# -- the connect() factory ---------------------------------------------------
+
+
+def _anchors(certified_setup):
+    return dict(
+        measurement=certified_setup["issuer"].measurement,
+        ias_public_key=certified_setup["ias"].public_key,
+    )
+
+
+def test_connect_local_mode(certified_setup):
+    client = connect(ClientConfig(**_anchors(certified_setup)))
+    assert isinstance(client, SuperlightClient)
+
+
+def test_connect_remote_providers(certified_setup):
+    client = connect(ClientConfig(
+        **_anchors(certified_setup),
+        bus=MessageBus(), issuers=("ci",), providers=("sp1", "sp2"),
+    ))
+    assert isinstance(client, RemoteSuperlightClient)
+    assert client.providers == ["sp1", "sp2"] and client.gateway is None
+
+
+def test_connect_remote_gateway(certified_setup):
+    from repro.net.gateway import QueryGateway
+
+    bus = MessageBus()
+    gateway = QueryGateway(bus, "gw", ["sp1", "sp2"])
+    client = connect(ClientConfig(
+        **_anchors(certified_setup), bus=bus, issuers=("ci",), gateway=gateway,
+    ))
+    assert isinstance(client, RemoteSuperlightClient)
+    assert client.gateway is gateway and client.providers == []
+    # The gateway's switch-verification hook is wired to the client.
+    assert gateway.verify_switch is not None
+
+
+def test_connect_remote_tip_only(certified_setup):
+    """No providers, no gateway: a certificate-sync-only client."""
+    client = connect(ClientConfig(
+        **_anchors(certified_setup), bus=MessageBus(), issuers=("ci",),
+    ))
+    assert isinstance(client, RemoteSuperlightClient)
+    assert client.providers == [] and client.gateway is None
+
+
+def test_connect_emits_no_deprecation_warning(certified_setup):
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        connect(ClientConfig(
+            **_anchors(certified_setup),
+            bus=MessageBus(), issuers=("ci",), providers=("sp",),
+        ))
+
+
+@pytest.mark.parametrize("overrides", [
+    # A remote client with no issuer endpoints cannot sync certificates.
+    dict(bus=MessageBus()),
+    # Providers and a gateway are competing query transports.
+    dict(bus=MessageBus(), issuers=("ci",), providers=("sp",), gateway=object()),
+    # Remote-mode settings without a bus are a mis-wiring, not local mode.
+    dict(providers=("sp",)),
+    dict(hub="hub"),
+    # subscribe=True needs a push source: a hub (remote) or issuer (local).
+    dict(bus=MessageBus(), issuers=("ci",), subscribe=True),
+    dict(subscribe=True),
+])
+def test_config_validate_rejects_miswirings(certified_setup, overrides):
+    config = ClientConfig(**_anchors(certified_setup), **overrides)
+    with pytest.raises(ReproError):
+        config.validate()
+
+
+def test_legacy_constructor_warns(certified_setup):
+    """Direct construction keeps working one release, loudly."""
+    bus = MessageBus()
+    with pytest.warns(DeprecationWarning, match="connect"):
+        legacy = RemoteSuperlightClient(
+            bus, "legacy",
+            certified_setup["issuer"].measurement,
+            certified_setup["ias"].public_key,
+            issuers=["ci"], providers=["sp"],
+        )
+    assert isinstance(legacy, LightClient)
+
+
+def test_legacy_constructor_keeps_old_transport_rule(certified_setup):
+    """The deprecated path still enforces 'exactly one of providers or
+    gateway' — only connect() supports tip-only clients."""
+    from repro.errors import CertificateError
+
+    with pytest.warns(DeprecationWarning), pytest.raises(CertificateError):
+        RemoteSuperlightClient(
+            MessageBus(), "legacy",
+            certified_setup["issuer"].measurement,
+            certified_setup["ias"].public_key,
+            issuers=["ci"],
+        )
+
+
+# -- local push subscription (direct issuer callback) ------------------------
+
+
+def _subscription_world():
+    """A tiny fresh chain + issuer a local client can subscribe to."""
+    from repro.core.issuer import CertificateIssuer
+
+    user = generate_keypair(b"client-api-sub")
+    builder = ChainBuilder(difficulty_bits=4, network="client-api-sub")
+    for nonce in range(4):
+        builder.add_block([
+            sign_transaction(
+                user.private, nonce, "kvstore", "put", (f"k{nonce}", f"v{nonce}")
+            )
+        ])
+    genesis, state = make_genesis(network="client-api-sub")
+    ias = AttestationService(seed=b"client-api-sub-ias")
+    issuer = CertificateIssuer(
+        genesis, state, fresh_vm(), builder.pow,
+        index_specs=[], ias=ias, key_seed=b"client-api-sub-enclave",
+    )
+    return builder, issuer, ias
+
+
+def test_local_client_subscribes_directly_to_issuer():
+    builder, issuer, ias = _subscription_world()
+    client = connect(ClientConfig(
+        measurement=issuer.measurement, ias_public_key=ias.public_key,
+        issuer=issuer, subscribe=True,
+    ))
+    seen = []
+    client.on_tip(lambda header, cert: seen.append(header.height))
+    for block in builder.blocks[1:3]:
+        issuer.process_block(block)
+    assert client.latest_header is not None
+    assert client.latest_header.height == 2
+    assert seen == [1, 2]
+    # Unsubscribing stops the feed: later certifications leave the tip.
+    client.unsubscribe()
+    for block in builder.blocks[3:]:
+        issuer.process_block(block)
+    assert client.latest_header.height == 2 and seen == [1, 2]
+    assert issuer.certified[-1].block.header.height == builder.height
+
+
+def test_local_subscribe_requires_an_issuer_source():
+    from repro.errors import CertificateError
+
+    builder, issuer, ias = _subscription_world()
+    client = SuperlightClient(issuer.measurement, ias.public_key)
+    with pytest.raises(CertificateError):
+        client.subscribe()
+    with pytest.raises(CertificateError):
+        client.subscribe(source=object())
 
 
 # -- the unified verification surface ---------------------------------------

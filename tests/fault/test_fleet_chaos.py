@@ -20,7 +20,8 @@ import pytest
 
 from repro.core import (
     IssuerService,
-    RemoteSuperlightClient,
+    ClientConfig,
+    connect,
     compute_expected_measurement,
 )
 from repro.errors import ReproError
@@ -91,11 +92,12 @@ def make_fleet(fleet_world, *, injector=None, seed=0):
         policy=RetryPolicy(timeout_ms=120.0, max_attempts=1),
         health=HealthPolicy(failure_threshold=1, probe_base_ms=150.0),
     )
-    client = RemoteSuperlightClient(
-        bus, "client",
-        fleet_world["measurement"], fleet_world["ias"].public_key,
-        issuers=["ci"], gateway=gateway,
-    )
+    client = connect(ClientConfig(
+        measurement=fleet_world["measurement"],
+        ias_public_key=fleet_world["ias"].public_key,
+        bus=bus, name="client",
+        issuers=("ci",), gateway=gateway,
+    ))
     client.bootstrap()
     return bus, client, gateway, services, supervisors
 

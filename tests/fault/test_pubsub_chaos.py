@@ -1,0 +1,210 @@
+"""Chaos for the push tier: hub crashes mid-fanout, lossy links, lag.
+
+The main chaos sweep (tests/fault/test_chaos_sweep.py) skips the
+``pubsub.*`` crashpoints — they live in the fan-out path, not the
+certification workload — and this file sweeps them instead: the hub
+"dies" at each point, a replacement hub is remounted on the same
+endpoint (stream position recovered from the issuer's certified count,
+catch-up history re-announced), and every subscriber must converge to
+the certified tip through the heartbeat/resync path.
+
+The invariant throughout: chaos may delay tips, it must never forge
+them — a client only ever adopts announcements that pass the standard
+certificate checks.
+"""
+
+import pytest
+
+from repro.chain import ChainBuilder
+from repro.core import (
+    CertificateIssuer,
+    ClientConfig,
+    IssuerService,
+    compute_expected_measurement,
+    connect,
+)
+from repro.fault.crashpoints import SimulatedCrash, crash_armed
+from repro.net import FaultInjector, LinkFaults, MessageBus
+from repro.net.pubsub import SubscriptionHub
+from repro.query.indexes import AccountHistoryIndexSpec
+from repro.sgx.attestation import AttestationService
+from repro.chain.genesis import make_genesis
+from tests.conftest import fresh_vm, make_kv_tx
+
+PUBSUB_POINTS = (
+    "pubsub.publish.pre",
+    "pubsub.deliver.pre",
+    "pubsub.publish.post",
+)
+
+CLIENTS = ("c1", "c2", "c3")
+
+
+@pytest.fixture(scope="module")
+def chain(user_keypair):
+    builder = ChainBuilder(difficulty_bits=4, network="pubsub-chaos")
+    nonce = 0
+    for _ in range(10):
+        builder.add_block([
+            make_kv_tx(user_keypair, nonce, f"k{nonce % 3}", f"v{nonce}")
+        ])
+        nonce += 1
+    return builder
+
+
+def build_world(chain, **hub_kwargs):
+    bus = MessageBus(default_latency_ms=5.0)
+    injector = FaultInjector(seed=23)
+    bus.install_faults(injector)
+    spec = AccountHistoryIndexSpec(name="history")
+    genesis, state = make_genesis(network="pubsub-chaos")
+    ias = AttestationService(seed=b"pubsub-chaos-ias")
+    issuer = CertificateIssuer(
+        genesis, state, fresh_vm(), chain.pow,
+        index_specs=[spec], ias=ias, key_seed=b"pubsub-chaos-enclave",
+    )
+    service = IssuerService(bus, "ci", issuer)
+    hub = SubscriptionHub.embedded(service, **hub_kwargs)
+    hub.attach(issuer)
+    measurement = compute_expected_measurement(
+        genesis.header.header_hash(), ias.public_key, fresh_vm(),
+        chain.pow.difficulty_bits, {spec.name: spec},
+    )
+    clients = [
+        connect(ClientConfig(
+            measurement=measurement, ias_public_key=ias.public_key,
+            bus=bus, name=name, issuers=("ci",), hub="ci", subscribe=True,
+        ))
+        for name in CLIENTS
+    ]
+    return bus, injector, issuer, service, hub, clients
+
+
+def remount_hub(service, issuer, old_hub):
+    """A fresh hub process on the same endpoint, as a supervisor would
+    restart it: the stream position comes from the issuer's certified
+    count and the catch-up history is re-announced from it."""
+    old_hub.detach()
+    hub = SubscriptionHub(server=service.server)
+    hub.attach(issuer, announce_existing=True)
+    return hub
+
+
+def converge(bus, clients):
+    """Drain the bus, then run one heartbeat round and drain again."""
+    bus.run_until_idle()
+    for client in clients:
+        client.heartbeat()
+    bus.run_until_idle()
+
+
+@pytest.mark.parametrize("point", PUBSUB_POINTS)
+def test_hub_crash_at_every_fanout_point_recovers(chain, point):
+    """Crash the hub at each pubsub crashpoint mid-publish; after a
+    remount every subscriber converges to the full certified tip."""
+    bus, injector, issuer, service, hub, clients = build_world(chain)
+    for block in chain.blocks[1:3]:
+        issuer.process_block(block)
+    bus.run_until_idle()
+    assert all(c.latest_header.height == 2 for c in clients)
+
+    with crash_armed(point, hit=1) as schedule:
+        with pytest.raises(SimulatedCrash):
+            issuer.process_block(chain.blocks[3])
+    assert schedule.fired, f"{point!r} never fired during fan-out"
+    # The block *was* certified — the crash hit the announcement path.
+    assert issuer.certified[-1].block.header.height == 3
+
+    hub = remount_hub(service, issuer, hub)
+    assert hub.seq == len(issuer.certified)
+    converge(bus, clients)
+    for client in clients:
+        assert client.latest_header.height == 3
+        assert client.client.certified_index_root("history") is not None
+    # Survivors keep streaming after the restart.
+    issuer.process_block(chain.blocks[4])
+    bus.run_until_idle()
+    assert all(c.latest_header.height == 4 for c in clients)
+
+
+def test_crash_mid_fanout_leaves_no_partial_delivery_visible(chain):
+    """``pubsub.deliver.pre`` on a later hit kills the hub after some
+    subscribers were already sent to — the classic partial fan-out.
+    Nobody may end up on a forged or half-announced tip."""
+    bus, injector, issuer, service, hub, clients = build_world(chain)
+    issuer.process_block(chain.blocks[1])
+    bus.run_until_idle()
+
+    with crash_armed("pubsub.deliver.pre", hit=2) as schedule:
+        with pytest.raises(SimulatedCrash):
+            issuer.process_block(chain.blocks[2])
+    assert schedule.fired
+    bus.run_until_idle()
+    # At most one subscriber got the push before the crash; whatever
+    # was delivered verified fine, nothing else moved.
+    heights = sorted(c.latest_header.height for c in clients)
+    assert heights[0] == 1 and heights[-1] <= 2
+
+    hub = remount_hub(service, issuer, hub)
+    converge(bus, clients)
+    assert all(c.latest_header.height == 2 for c in clients)
+    assert all(c.push_rejected == 0 for c in clients)
+
+
+def test_lossy_links_never_forge_only_delay(chain):
+    """30% loss in both directions on every subscriber link: with
+    heartbeats, every client still converges, and no announcement is
+    ever adopted unverified."""
+    from repro.errors import NetworkError
+
+    bus, injector, issuer, service, hub, clients = build_world(chain)
+    for name in CLIENTS:
+        injector.set_link("ci", name, LinkFaults(drop_rate=0.3))
+        injector.set_link(name, "ci", LinkFaults(drop_rate=0.3))
+
+    for block in chain.blocks[1:8]:
+        issuer.process_block(block)
+        bus.run_until_idle()
+        for client in clients:
+            try:
+                client.heartbeat()
+            except NetworkError:
+                pass  # a heartbeat lost to the storm; the next one lands
+        bus.run_until_idle()
+
+    # The storm passes; one clean heartbeat round converges everyone.
+    for name in CLIENTS:
+        injector.set_link("ci", name, LinkFaults())
+        injector.set_link(name, "ci", LinkFaults())
+    converge(bus, clients)
+
+    for client in clients:
+        assert client.latest_header.height == 7
+        assert client.push_rejected == 0
+        # Loss shows up as retransmits/resyncs, never as forged tips.
+        assert client.push_adopted + client.push_resyncs > 0
+    summary = injector.summary()
+    assert any(counts.get("dropped", 0) for counts in summary.values())
+
+
+def test_burst_lags_every_subscriber_then_one_heartbeat_recovers(chain):
+    """A tiny outbox against a burst: the hub drops oldest, marks the
+    subscribers lagged, and one heartbeat round later everyone is back
+    at the tip with lag state cleared."""
+    bus, injector, issuer, service, hub, clients = build_world(
+        chain, window=1, outbox_limit=2
+    )
+    # The burst: publish 6 blocks before any delivery happens.
+    for block in chain.blocks[1:7]:
+        issuer.process_block(block)
+    for client in clients:
+        state = hub.subscribers[client.rpc.name]
+        assert state.lagged and state.dropped_oldest >= 1
+    bus.run_until_idle()
+    assert all(c._needs_resync for c in clients)
+    converge(bus, clients)
+    for client in clients:
+        assert client.latest_header.height == 6
+        assert client.push_resyncs >= 1
+        assert not hub.subscribers[client.rpc.name].lagged
+    assert hub.resyncs >= len(clients)

@@ -20,8 +20,9 @@ from repro.chain.transaction import sign_transaction
 from repro.core import (
     CertificateIssuer,
     IssuerService,
-    RemoteSuperlightClient,
+    ClientConfig,
     compute_expected_measurement,
+    connect,
 )
 from repro.crypto import generate_keypair
 from repro.errors import ServiceUnavailableError
@@ -114,13 +115,15 @@ def make_network(world, *, injector=None, providers=("sp1", "sp2"),
     IssuerService(bus, "ci", world["issuer"])
     for name in providers:
         QueryService(bus, name, world["provider"])
-    client = RemoteSuperlightClient(
-        bus, "client", world["measurement"], world["ias"].public_key,
-        issuers=["ci"], providers=list(providers),
+    client = connect(ClientConfig(
+        measurement=world["measurement"],
+        ias_public_key=world["ias"].public_key,
+        bus=bus, name="client",
+        issuers=("ci",), providers=tuple(providers),
         policy=RetryPolicy(timeout_ms=150.0, max_attempts=3,
                            backoff_base_ms=20.0),
         integrity_retries=integrity_retries,
-    )
+    ))
     return bus, client
 
 

@@ -15,7 +15,8 @@ from repro.chain.genesis import make_genesis
 from repro.chain.transaction import sign_transaction
 from repro.core import (
     IssuerService,
-    RemoteSuperlightClient,
+    ClientConfig,
+    connect,
     compute_expected_measurement,
 )
 from repro.core.recovery import DurableIssuer, recover_issuer
@@ -104,13 +105,15 @@ def make_network(world):
         policy=RestartPolicy(max_attempts=3, backoff_base_ms=40.0),
     )
     QueryService(bus, "sp", world["provider"])
-    client = RemoteSuperlightClient(
-        bus, "client", world["measurement"], world["ias"].public_key,
-        issuers=["ci"], providers=["sp"],
+    client = connect(ClientConfig(
+        measurement=world["measurement"],
+        ias_public_key=world["ias"].public_key,
+        bus=bus, name="client",
+        issuers=("ci",), providers=("sp",),
         policy=RetryPolicy(
             timeout_ms=150.0, max_attempts=4, backoff_base_ms=20.0
         ),
-    )
+    ))
     return bus, service, supervisor, client
 
 

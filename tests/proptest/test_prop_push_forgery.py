@@ -1,0 +1,188 @@
+"""Forged push announcements: single-byte mutations never move a tip.
+
+The push stream's security argument is that the hub is untrusted
+plumbing: a :class:`~repro.net.messages.PushEnvelope` carries the
+canonical wire encoding of a :class:`~repro.net.pubsub.TipAnnouncement`
+and the subscriber re-verifies every certificate inside before any
+client state moves.  These properties deliver single-byte mutations of
+a genuine envelope payload straight into the client's push handler and
+assert the client never ends up in a state the forger controls:
+
+* the adopted tip is only ever the genuine certified next header (a
+  mutation that leaves the certified material intact — e.g. a flip in
+  the publish timestamp — still carries the enclave's own statement);
+* every index root the client holds afterwards is one the enclave
+  certified;
+* a payload that fails verification is rejected *atomically*: counted
+  in ``push_rejected``, not acked, and the client state is
+  byte-identical to before.
+
+Seeds and replay: see tests/proptest/framework.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClientConfig, IssuerService, connect
+from repro.net.bus import MessageBus
+from repro.net.messages import PushEnvelope
+from repro.net.pubsub import SubscriptionHub, TipAnnouncement
+from repro.net import wire
+from tests.proptest.framework import mutate_one_byte, run_cases
+
+
+@pytest.fixture(scope="module")
+def world(certified_setup):
+    """The certified kv_chain issuer behind a hub endpoint, plus the
+    genuine announcement for the tip a probe client has not seen."""
+    issuer = certified_setup["issuer"]
+    bus = MessageBus()
+    service = IssuerService(bus, "ci", issuer)
+    hub = SubscriptionHub.embedded(service)
+    # The probe sits at the second-to-last certified block (seq N-1);
+    # the genuine announcement under test carries the last one (seq N).
+    seq = len(issuer.certified)
+    tip = issuer.certified[-1]
+    announcement = TipAnnouncement(
+        seq=seq,
+        published_at_ms=0.0,
+        header=tip.block.header,
+        certificate=tip.certificate,
+        index_certificates=dict(tip.index_certificates),
+        index_roots=dict(tip.index_roots),
+    )
+    certified_roots = {
+        root
+        for certified in issuer.certified
+        for root in certified.index_roots.values()
+    }
+    return {
+        "bus": bus,
+        "hub": hub,
+        "issuer": issuer,
+        "setup": certified_setup,
+        "seq": seq,
+        "announcement": announcement,
+        "payload": wire.encode(announcement),
+        "certified_roots": certified_roots,
+    }
+
+
+def _make_probe(world, rng, prefix):
+    """A fresh subscribed-at-seq-N-1 client (never reused across cases:
+    a rejected forgery must not poison later cases' state)."""
+    setup = world["setup"]
+    issuer = world["issuer"]
+    probe = connect(ClientConfig(
+        measurement=issuer.measurement,
+        ias_public_key=setup["ias"].public_key,
+        bus=world["bus"],
+        name=f"{prefix}-{rng.randrange(1 << 48):012x}",
+        issuers=("ci",),
+        hub="ci",
+    ))
+    prev = issuer.certified[-2]
+    probe.client.validate_chain(prev.block.header, prev.certificate)
+    for name, cert in prev.index_certificates.items():
+        probe.client.validate_index_certificate(
+            name, prev.block.header, prev.index_roots[name], cert
+        )
+    probe.subscribed = True
+    probe._sub_seq = world["seq"] - 1
+    return probe
+
+
+def _forges_certified_material(candidate, genuine) -> bool:
+    """True when the mutation tampered with an enclave-signed statement.
+
+    Flips that survive verification are the ones that forge nothing:
+    the seq, the timestamp, an index *name* (the digest binds header
+    and root, not the label), or an *omitted* entry (the client can
+    only verify what is present; omission degrades freshness, it
+    installs nothing forged).  Everything else must be rejected."""
+    if (
+        candidate.header != genuine.header
+        or candidate.certificate != genuine.certificate
+    ):
+        return True
+    genuine_certs = {c.encode() for c in genuine.index_certificates.values()}
+    genuine_roots = set(genuine.index_roots.values())
+    candidate_certs = {
+        c.encode() for c in candidate.index_certificates.values()
+    }
+    candidate_roots = set(candidate.index_roots.values())
+    return not (
+        candidate_certs <= genuine_certs and candidate_roots <= genuine_roots
+    )
+
+
+def test_mutated_announcements_never_move_a_tip_unverified(world):
+    genuine = world["announcement"]
+    payload = world["payload"]
+    prev_header = world["issuer"].certified[-2].block.header
+
+    def prop(rng):
+        mutated = mutate_one_byte(payload, rng)
+        probe = _make_probe(world, rng, "tipprobe")
+        before_state = probe.client.to_json()
+        probe._on_push(PushEnvelope(payload=mutated))
+
+        # The tip is only ever where it was, or at the genuine header.
+        assert probe.latest_header in (prev_header, genuine.header), (
+            "a mutated announcement installed a forged tip"
+        )
+        if probe.latest_header == genuine.header:
+            assert probe.client.latest_certificate == genuine.certificate
+        # Index roots are always enclave-certified ones.
+        for _height, root in probe.client._index_roots.values():
+            assert root in world["certified_roots"], (
+                "a mutated announcement installed an uncertified index root"
+            )
+        # Rejections are atomic and counted.
+        if probe.push_rejected:
+            assert probe.client.to_json() == before_state, (
+                "a rejected announcement left client state behind"
+            )
+            assert probe._sub_seq == world["seq"] - 1
+        # Whatever happened, the stream either did not move or moved to
+        # exactly the genuine position — never past it.
+        assert probe._sub_seq in (world["seq"] - 1, world["seq"])
+
+    run_cases(prop)
+
+
+def test_mutations_of_certified_material_are_rejected_and_counted(world):
+    """The sharper half: when the flip *does* land in enclave-signed
+    material (and still decodes, at the genuine seq), the client must
+    reject it, count it, and withhold the ack."""
+    genuine = world["announcement"]
+    payload = world["payload"]
+
+    def prop(rng):
+        mutated = mutate_one_byte(payload, rng)
+        try:
+            candidate = wire.decode(mutated)
+        except Exception:
+            candidate = None
+        interesting = (
+            isinstance(candidate, TipAnnouncement)
+            and candidate.seq == genuine.seq
+            and _forges_certified_material(candidate, genuine)
+        )
+        probe = _make_probe(world, rng, "certprobe")
+        # Drain leftovers from earlier cases so the ack count is ours.
+        probe.rpc.bus.run_until_idle()
+        hub_node = world["hub"].server.node
+        acks_before = hub_node.delivered_count
+        probe._on_push(PushEnvelope(payload=mutated))
+        if not interesting:
+            return
+        assert probe.push_rejected == 1, "forged certified material accepted"
+        assert probe.push_adopted == 0
+        assert probe.latest_header.height == genuine.header.height - 1
+        # No ack went out: the hub will retransmit the genuine one.
+        probe.rpc.bus.run_until_idle()
+        assert hub_node.delivered_count == acks_before
+
+    run_cases(prop)

@@ -7,7 +7,8 @@ import pytest
 from repro.chain.genesis import make_genesis
 from repro.core import (
     IssuerService,
-    RemoteSuperlightClient,
+    ClientConfig,
+    connect,
     compute_expected_measurement,
 )
 from repro.net import (
@@ -110,10 +111,12 @@ def fleet(certified_setup):
         chain.pow.difficulty_bits,
         certified_setup["specs"],
     )
-    client = RemoteSuperlightClient(
-        bus, "client", measurement, certified_setup["ias"].public_key,
-        issuers=["ci"], gateway=gateway,
-    )
+    client = connect(ClientConfig(
+        measurement=measurement,
+        ias_public_key=certified_setup["ias"].public_key,
+        bus=bus, name="client",
+        issuers=("ci",), gateway=gateway,
+    ))
     client.bootstrap()
     return {"client": client, "provider": provider, "gateway": gateway}
 
