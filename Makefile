@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench lint selftest check metrics proptest chaos fleet-bench fleet-smoke push-bench push-smoke
+.PHONY: test bench lint selftest check metrics proptest chaos fleet-bench fleet-smoke push-bench push-smoke sim sim-smoke determinism
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -22,7 +22,26 @@ proptest:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/fault -q
 
-check: lint test chaos fleet-smoke push-smoke
+# Whole-system deterministic simulation (repro.sim): one seeded
+# schedule drives the full stack — chain, durable issuer, WAL,
+# gateway fleet, hub, mixed client fleet, injected faults — with
+# global invariants checked after every event.  Knobs:
+# REPRO_SIM_SEED / REPRO_SIM_EVENTS deepen or reseed the pytest runs;
+# REPRO_SIM_REPLAY=seed:events reruns one case (failures print it);
+# REPRO_SIM_CANARY arms a deliberately-broken invariant.
+sim:
+	PYTHONPATH=src $(PYTHON) -m repro sim --events 500
+	PYTHONPATH=src $(PYTHON) -m pytest tests/sim -q
+
+# A quick slice of the same harness, as a smoke tier for `make check`.
+sim-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro sim --events 120
+
+# Run the same sim seed twice and diff the event-log fingerprints.
+determinism:
+	bash scripts/check_determinism.sh
+
+check: lint test chaos sim-smoke determinism fleet-smoke push-smoke
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

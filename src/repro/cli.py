@@ -539,6 +539,67 @@ def cmd_demo_crash(args: argparse.Namespace) -> int:
         return 0 if (ok and same_key and not supervisor.gave_up) else 1
 
 
+def cmd_sim(args: argparse.Namespace) -> int:
+    """One deterministic whole-system simulation run."""
+    from repro.sim import CANARIES, replay_command, run_sim
+
+    if args.canary is not None and args.canary not in CANARIES:
+        print(f"unknown canary {args.canary!r}; "
+              f"available: {', '.join(sorted(CANARIES))}")
+        return 2
+    result = run_sim(args.seed, args.events, canary=args.canary)
+    if args.verbose:
+        for line in result.log:
+            print(line)
+    print(f"Applied {result.events_applied}/{result.events} events "
+          f"(seed {result.seed})")
+    print(f"event-log fingerprint: {result.fingerprint}")
+    if result.violation is not None:
+        shrink_hint = result.violation.event_index + 1
+        print(f"INVARIANT VIOLATION: {result.violation}")
+        print(f"replay: {replay_command(result.seed, shrink_hint, args.canary)}")
+        return 1
+    print("all invariants held after every event")
+    return 0
+
+
+def cmd_demo_sim(args: argparse.Namespace) -> int:
+    """Narrated simulation: compose, run, fingerprint, rerun."""
+    from repro.sim import SimConfig, run_sim
+
+    config = SimConfig()
+    print("Composing the whole stack on the virtual-clock bus:")
+    print(f"  miner/chain -> durable issuer (WAL, checkpoints every "
+          f"{config.checkpoint_interval} blocks) -> {config.replicas} query "
+          f"replicas -> subscription hub")
+    print(f"  client fleet: {config.pollers} polling, "
+          f"{config.gateway_clients} gateway+cache, "
+          f"{config.subscribers} push-subscribed")
+    print(f"Running {args.events} seeded events (seed {args.seed}): mine, "
+          f"certify, query, heartbeat, crashes, torn writes, lossy links, "
+          f"partitions, replica pauses, hub remounts, client churn...")
+    result = run_sim(args.seed, args.events)
+    if result.violation is not None:
+        print(f"INVARIANT VIOLATION: {result.violation}")
+        return 1
+    crashes = sum(1 for line in result.log if " crash(" in line)
+    churns = sum(1 for line in result.log if " churn(" in line)
+    print(f"  {result.events_applied} events applied; {crashes} injected "
+          f"crashes recovered, {churns} clients churned")
+    print("  every event passed: tip monotonicity, no unverified adoption, "
+          "storage budget, oracle byte-identity, cache coherence, WAL "
+          "consistency, metrics monotonicity")
+    print("Sample of the deterministic event log:")
+    for line in result.log[-5:]:
+        print(f"  {line}")
+    print(f"event-log fingerprint: {result.fingerprint}")
+    print("Re-running the same seed to prove determinism...")
+    again = run_sim(args.seed, args.events)
+    identical = again.fingerprint == result.fingerprint
+    print(f"  byte-identical: {identical}")
+    return 0 if identical else 1
+
+
 def cmd_selftest(_: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -770,6 +831,33 @@ def main(argv: list[str] | None = None) -> int:
         choices=["round-robin", "least-outstanding", "seeded-random"],
     )
     fleet.add_argument("--seed", type=int, default=7)
+    sim = subparsers.add_parser(
+        "sim",
+        help="deterministic whole-system simulation with global "
+             "invariant checking (exit 1 + replay command on violation)",
+    )
+    sim.add_argument("--seed", type=int, default=2026)
+    sim.add_argument(
+        "--events", type=int, default=200,
+        help="schedule length: seeded workload + fault events "
+             "(default 200; `make sim` runs 500)",
+    )
+    sim.add_argument(
+        "--canary", default=None,
+        help="arm a deliberately-broken invariant "
+             "(see repro.sim.CANARIES) to exercise catch/shrink/replay",
+    )
+    sim.add_argument(
+        "--verbose", action="store_true",
+        help="print the full deterministic event log",
+    )
+    demo_sim = subparsers.add_parser(
+        "demo-sim",
+        help="narrated simulation run: the whole stack under one seeded "
+             "schedule, invariants checked after every event",
+    )
+    demo_sim.add_argument("--seed", type=int, default=2026)
+    demo_sim.add_argument("--events", type=int, default=80)
     subparsers.add_parser("selftest", help="fast certification round trip")
     metrics = subparsers.add_parser(
         "metrics",
@@ -803,6 +891,8 @@ def main(argv: list[str] | None = None) -> int:
         "demo-network": cmd_demo_network,
         "demo-fleet": cmd_demo_fleet,
         "demo-crash": cmd_demo_crash,
+        "sim": cmd_sim,
+        "demo-sim": cmd_demo_sim,
         "selftest": cmd_selftest,
         "metrics": cmd_metrics,
     }

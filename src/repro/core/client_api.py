@@ -142,6 +142,13 @@ class ClientConfig:
             raise ReproError(
                 "providers/gateway/hub are remote-mode settings; pass a bus"
             )
+        if self.issuer is not None and (
+            self.bus is not None or self.gateway is not None
+        ):
+            raise ReproError(
+                "issuer= is the local-mode hook; a remote client names "
+                "issuers= endpoints instead"
+            )
         if self.subscribe and self.bus is not None and self.hub is None:
             raise ReproError("subscribe=True needs a hub endpoint")
         if self.subscribe and self.bus is None and self.issuer is None:

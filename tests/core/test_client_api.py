@@ -233,6 +233,39 @@ def test_config_validate_rejects_miswirings(certified_setup, overrides):
         config.validate()
 
 
+@pytest.mark.parametrize("overrides,match", [
+    # A remote client (bus/gateway transport) combined with a local
+    # in-process issuer= is two shapes at once.
+    (dict(bus=MessageBus(), issuers=("ci",), issuer=object()), "local-mode"),
+    (dict(bus=MessageBus(), issuers=("ci",), gateway=object(),
+          issuer=object()), "local-mode"),
+    # Subscribing remotely without a hub endpoint: the error names it.
+    (dict(bus=MessageBus(), issuers=("ci",), subscribe=True), "hub"),
+    # Remote-mode settings with no service transport (no bus) point at
+    # the missing bus, not at local mode.
+    (dict(providers=("sp",)), "bus"),
+    (dict(gateway=object()), "bus"),
+    (dict(hub="hub"), "bus"),
+])
+def test_config_validate_names_the_miswiring(certified_setup, overrides,
+                                             match):
+    """Each rejection message names the conflicting/missing setting."""
+    config = ClientConfig(**_anchors(certified_setup), **overrides)
+    with pytest.raises(ReproError, match=match):
+        config.validate()
+
+
+def test_connect_rejects_issuer_with_remote_transport(certified_setup):
+    """connect() refuses to build a client that is simultaneously local
+    (issuer=) and remote (bus/gateway) — nothing half-constructed."""
+    with pytest.raises(ReproError, match="issuer"):
+        connect(ClientConfig(
+            **_anchors(certified_setup),
+            bus=MessageBus(), issuers=("ci",),
+            issuer=certified_setup["issuer"],
+        ))
+
+
 def test_legacy_constructor_warns(certified_setup):
     """Direct construction keeps working one release, loudly."""
     bus = MessageBus()
@@ -244,6 +277,25 @@ def test_legacy_constructor_warns(certified_setup):
             issuers=["ci"], providers=["sp"],
         )
     assert isinstance(legacy, LightClient)
+
+
+def test_legacy_constructor_warning_names_connect(certified_setup):
+    """The deprecation text must tell the caller exactly where to go:
+    the connect(ClientConfig(...)) factory."""
+    with pytest.warns(DeprecationWarning) as records:
+        RemoteSuperlightClient(
+            MessageBus(), "legacy",
+            certified_setup["issuer"].measurement,
+            certified_setup["ias"].public_key,
+            issuers=["ci"], providers=["sp"],
+        )
+    messages = [
+        str(r.message) for r in records
+        if r.category is DeprecationWarning
+    ]
+    assert any(
+        "connect(" in m and "ClientConfig" in m for m in messages
+    ), f"deprecation text does not name connect(): {messages}"
 
 
 def test_legacy_constructor_keeps_old_transport_rule(certified_setup):

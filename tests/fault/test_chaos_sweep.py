@@ -19,6 +19,8 @@ import pytest
 from repro.fault import chaos
 from repro.fault.crashpoints import CATALOG
 
+pytestmark = pytest.mark.chaos
+
 DEFAULT_SEED = 0xC4A05
 DEFAULT_EXTRA_CASES = 6
 

@@ -12,6 +12,8 @@ from repro.fault.crashpoints import (
     torn_prefix,
 )
 
+pytestmark = pytest.mark.chaos
+
 
 def test_crashpoint_is_noop_when_disarmed():
     crashpoint("wal.append.pre_write")  # must not raise

@@ -43,6 +43,8 @@ from repro.query.provider import QueryServiceProvider
 from repro.chain.genesis import make_genesis
 from tests.conftest import fresh_vm
 
+pytestmark = pytest.mark.chaos
+
 REPLICAS = ("sp1", "sp2", "sp3")
 
 

@@ -31,6 +31,8 @@ from repro.sgx.attestation import AttestationService
 from repro.chain.genesis import make_genesis
 from tests.conftest import fresh_vm, make_kv_tx
 
+pytestmark = pytest.mark.chaos
+
 PUBSUB_POINTS = (
     "pubsub.publish.pre",
     "pubsub.deliver.pre",

@@ -83,6 +83,48 @@ def test_metrics_leaves_observability_disabled():
     assert obs.registry().virtual_clock is None
 
 
+def test_sim_clean_run(capsys):
+    assert main(["sim", "--events", "25", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "event-log fingerprint:" in out
+    assert "all invariants held" in out
+
+
+def test_sim_canary_violation_prints_replay(capsys):
+    # seed 4 trips the height-cap canary within 24 events
+    assert main(["sim", "--events", "24", "--seed", "4",
+                 "--canary", "height-cap"]) == 1
+    out = capsys.readouterr().out
+    assert "INVARIANT VIOLATION" in out
+    assert "REPRO_SIM_REPLAY=4:" in out
+
+
+def test_sim_rejects_unknown_canary(capsys):
+    assert main(["sim", "--canary", "not.a.canary"]) == 2
+    assert "unknown canary" in capsys.readouterr().out
+
+
+def test_sim_verbose_prints_event_log(capsys):
+    assert main(["sim", "--events", "10", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "0000 t=" in out
+
+
+def test_demo_sim(capsys):
+    assert main(["demo-sim", "--events", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "byte-identical: True" in out
+    assert "event-log fingerprint:" in out
+
+
+def test_sim_leaves_observability_disabled():
+    from repro import obs
+
+    assert main(["sim", "--events", "8"]) == 0
+    assert not obs.enabled()
+    assert obs.registry().virtual_clock is None
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
