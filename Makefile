@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench lint selftest check metrics proptest chaos fleet-bench fleet-smoke push-bench push-smoke sim sim-smoke determinism
+.PHONY: test bench lint selftest check metrics proptest chaos fleet-bench fleet-smoke push-bench push-smoke overload-bench overload-smoke sim sim-smoke determinism
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -33,15 +33,17 @@ sim:
 	PYTHONPATH=src $(PYTHON) -m repro sim --events 500
 	PYTHONPATH=src $(PYTHON) -m pytest tests/sim -q
 
-# A quick slice of the same harness, as a smoke tier for `make check`.
+# A quick slice of the same harness, as a smoke tier for `make check`:
+# both the default mix and the saturation-heavy overload profile.
 sim-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro sim --events 120
+	PYTHONPATH=src $(PYTHON) -m repro sim --events 120 --profile overload
 
 # Run the same sim seed twice and diff the event-log fingerprints.
 determinism:
 	bash scripts/check_determinism.sh
 
-check: lint test chaos sim-smoke determinism fleet-smoke push-smoke
+check: lint test chaos sim-smoke determinism fleet-smoke push-smoke overload-smoke
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -68,6 +70,17 @@ push-bench:
 # The same run with a small fleet, as a smoke tier for `make check`.
 push-smoke:
 	REPRO_PUSH_CLIENTS=8 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_push_vs_poll.py -q
+
+# Overload-resilience benchmark (benchmarks/test_overload.py): goodput
+# under an open-loop 5x offered load with admission control + deadline
+# propagation, and the un-hedged vs hedged slow-replica tail.
+# REPRO_OVERLOAD_ARRIVALS=n sizes the arrival process (default 600).
+overload-bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_overload.py -q -s
+
+# The same scenarios with a short arrival process, for `make check`.
+overload-smoke:
+	REPRO_OVERLOAD_ARRIVALS=200 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_overload.py -q
 
 lint:
 	bash scripts/lint.sh

@@ -5,6 +5,11 @@
 #
 #   REPRO_SIM_SEED    seed to run twice   (default 2026)
 #   REPRO_SIM_EVENTS  schedule length     (default 200)
+#
+# Both event mixes are exercised: the default "mixed" profile and the
+# saturation-heavy "overload" profile (bursts, deadline-bounded
+# batches, slow replicas) — jittered backoff, hedging, and breaker
+# timing must all come from seeded streams, never wall time.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,18 +22,20 @@ trap 'rm -rf "$workdir"' EXIT
 
 run() {
     PYTHONPATH=src "$PYTHON" -m repro sim \
-        --seed "$SEED" --events "$EVENTS" --verbose > "$1"
+        --seed "$SEED" --events "$EVENTS" --profile "$2" --verbose > "$1"
 }
 
-echo "sim determinism: seed=$SEED events=$EVENTS (run 1/2)..."
-run "$workdir/first.log"
-echo "sim determinism: seed=$SEED events=$EVENTS (run 2/2)..."
-run "$workdir/second.log"
+for profile in mixed overload; do
+    echo "sim determinism: seed=$SEED events=$EVENTS profile=$profile (run 1/2)..."
+    run "$workdir/first.log" "$profile"
+    echo "sim determinism: seed=$SEED events=$EVENTS profile=$profile (run 2/2)..."
+    run "$workdir/second.log" "$profile"
 
-if ! diff -u "$workdir/first.log" "$workdir/second.log"; then
-    echo "DETERMINISM FAILURE: the same seed produced different event logs"
-    exit 1
-fi
+    if ! diff -u "$workdir/first.log" "$workdir/second.log"; then
+        echo "DETERMINISM FAILURE: the same seed produced different event logs"
+        exit 1
+    fi
 
-grep "event-log fingerprint:" "$workdir/first.log"
-echo "deterministic: both runs byte-identical"
+    grep "event-log fingerprint:" "$workdir/first.log"
+done
+echo "deterministic: both runs byte-identical (both profiles)"

@@ -14,6 +14,11 @@ Commands:
   replicas behind a :class:`repro.net.gateway.QueryGateway`, repeats
   it warm from the verified-answer cache, then survives a replica
   kill and watches the probe path readmit it.
+* ``demo-overload`` — overload-resilience demonstration: deadline
+  propagation refuses doomed work up front, admission control sheds a
+  saturating flood with ``retry_after`` hints, circuit breakers trip,
+  the client degrades to a verified-stale answer, and hedged requests
+  collapse a slow replica's tail.
 * ``demo-crash`` — crash-safety demonstration: a durable issuer is
   killed at a chosen crashpoint mid-``certify_range``, its supervisor
   restores it from the write-ahead archive (sealed checkpoint + WAL
@@ -398,6 +403,200 @@ def cmd_demo_fleet(args: argparse.Namespace) -> int:
     return 0 if back else 1
 
 
+def _overload_world(blocks: int, replicas: int, service_ms: float, seed: int):
+    """The fleet deployment with the full overload-protection stack
+    armed: admission control on every busy-worker replica, per-replica
+    circuit breakers and hedging on the gateway, and a client that
+    degrades to verified-stale answers when the whole tier sheds."""
+    from types import SimpleNamespace
+
+    from repro.chain.genesis import make_genesis
+    from repro.core import (
+        ClientConfig,
+        IssuerService,
+        compute_expected_measurement,
+        connect,
+    )
+    from repro.net import (
+        AdmissionPolicy,
+        CircuitBreakerPolicy,
+        HealthPolicy,
+        HedgePolicy,
+        MessageBus,
+        QueryGateway,
+        RetryPolicy,
+    )
+    from repro.net.rpc import RpcClient
+    from repro.query import QueryService, QueryServiceProvider
+
+    builder, issuer, ias, spec, genesis, vm = _build_world(
+        blocks=blocks, hold_back=1
+    )
+    sp_genesis, sp_state = make_genesis(network="cli")
+    provider = QueryServiceProvider(
+        sp_genesis, sp_state, _fresh_vm(), builder.pow, [spec]
+    )
+    for block in builder.blocks[1:-1]:
+        provider.ingest_block(block)
+
+    bus = MessageBus(default_latency_ms=5.0)
+    IssuerService(bus, "ci", issuer)
+    names = [f"sp{i + 1}" for i in range(replicas)]
+    admission = AdmissionPolicy(shed_delay_ms=40.0, queue_limit=32)
+    services = {
+        name: QueryService(
+            bus, name, provider,
+            service_time_ms=service_ms, admission=admission,
+        )
+        for name in names
+    }
+    gateway = QueryGateway(
+        bus, "gw", names,
+        balancer="round-robin", seed=seed,
+        policy=RetryPolicy(timeout_ms=2_000.0, max_attempts=2),
+        health=HealthPolicy(failure_threshold=3, probe_base_ms=200.0),
+        breaker=CircuitBreakerPolicy(),
+        hedge=HedgePolicy(),
+    )
+    measurement = compute_expected_measurement(
+        genesis.header.header_hash(), ias.public_key, _fresh_vm(),
+        builder.pow.difficulty_bits, {spec.name: spec},
+    )
+    client = connect(ClientConfig(
+        measurement=measurement, ias_public_key=ias.public_key,
+        bus=bus, name="client",
+        issuers=("ci",), gateway=gateway,
+        degrade_to_stale=True,
+    ))
+    flood = RpcClient(
+        bus, "flood", policy=RetryPolicy(timeout_ms=5_000.0, max_attempts=1)
+    )
+    return SimpleNamespace(
+        builder=builder, bus=bus, services=services, gateway=gateway,
+        client=client, issuer=issuer, provider=provider, flood=flood,
+        held_back=builder.blocks[-1],
+    )
+
+
+def cmd_demo_overload(args: argparse.Namespace) -> int:
+    """Narrated overload resilience: deadline propagation, admission
+    shedding + retry_after, circuit breakers, graceful stale
+    degradation, and hedged requests, one segment each."""
+    from repro.errors import DeadlineExceededError
+    from repro.query import HistoryQuery, StaleAnswer
+
+    world = _overload_world(
+        args.blocks, args.replicas, args.service_ms, args.seed
+    )
+    bus, gateway, client, services = (
+        world.bus, world.gateway, world.client, world.services
+    )
+    client.bootstrap()
+    print(f"Fleet of {args.replicas} replicas "
+          f"({args.service_ms:.0f} ms service time) behind a gateway with "
+          f"admission control, circuit breakers, and hedging; client "
+          f"adopted the certified tip at height "
+          f"{client.latest_header.height}.")
+
+    height = client.latest_header.height
+    request = HistoryQuery(index="history", account="acct1",
+                           t_from=1, t_to=height)
+
+    tight_ms = args.service_ms * 1.6
+    print(f"\n[1] Deadline propagation — a query with a "
+          f"{tight_ms:.0f} ms budget (after per-hop shrinking, less "
+          f"than one service time):")
+    executes_before = world.provider.executes
+    try:
+        client.query(request, deadline_ms=bus.clock_ms + tight_ms)
+        print("  unexpectedly served!")
+        return 1
+    except DeadlineExceededError:
+        refused = sum(s.server.deadline_refused for s in services.values())
+        print(f"  refused up front (DEADLINE_EXCEEDED): the per-hop "
+              f"budget shrinks in flight and cannot cover one service "
+              f"time, so the replica refuses at admission")
+        print(f"  provider executions: "
+              f"{world.provider.executes - executes_before} "
+              f"(doomed work costs zero), deadline refusals: {refused}")
+
+    print("\n[2] Normal operation — the same query with headroom:")
+    answer = client.query(request)
+    print(f"  verified answer: {len(answer.payload.versions)} versions of "
+          f"acct1, cached under the certified root")
+
+    # Advance the tip so the *fresh* cache entry is swept (it is keyed
+    # by root) while the stale sidecar keeps the last verified answer.
+    world.issuer.process_block(world.held_back)
+    world.provider.ingest_block(world.held_back)
+    bus.run_until_idle()
+    client.sync()
+    print(f"  tip advanced to height {client.latest_header.height}; the "
+          f"root-keyed cache entry is swept, the stale sidecar remembers")
+
+    saturation_ms = args.service_ms * 2.5
+    print(f"\n[3] Saturation — flooding both replicas with "
+          f"{args.flood} fire-and-forget queries each, then asking again "
+          f"with a {saturation_ms:.0f} ms budget:")
+    flood_ids = []
+    for name in services:
+        for _ in range(args.flood):
+            flood_ids.append(world.flood.begin(name, "execute", request))
+    shed_before = sum(s.server.requests_shed for s in services.values())
+    result = client.query(
+        request, deadline_ms=bus.clock_ms + saturation_ms
+    )
+    shed = sum(s.server.requests_shed for s in services.values()) - shed_before
+    hint = next(
+        (r.retry_after_ms for i in flood_ids
+         if (r := world.flood.take(i)) is not None and r.code == "net.overloaded"),
+        0.0,
+    )
+    print(f"  replicas shed {shed} requests at admission "
+          f"(OVERLOADED, retry_after ~{hint:.0f} ms)")
+    if isinstance(result, StaleAnswer):
+        print(f"  client degraded gracefully: served the last verified "
+              f"answer flagged stale=True (root height {result.height}) "
+              f"instead of failing")
+    else:
+        print("  tier recovered inside the budget; served fresh")
+    bus.run_until_idle()
+    for request_id in flood_ids:
+        world.flood.abandon(request_id)
+
+    print("\n[4] Hedging — one replica turns 10x slow mid-run:")
+    height = client.latest_header.height
+    for i in range(16):  # warm the per-endpoint latency trackers
+        lo, hi = sorted((1 + i // 8, 1 + i % height))
+        client.query(HistoryQuery(index="history", account=f"acct{i % 4}",
+                                  t_from=lo, t_to=hi))
+    slow = list(services)[-1]
+    services[slow].server._service_times["execute"] = args.service_ms * 10
+    hedges_before = gateway.hedges
+    for i in range(6):
+        client.query(HistoryQuery(index="history", account=f"acct{i % 4}",
+                                  t_from=3, t_to=max(3, 1 + i % height)))
+    print(f"  {slow} degraded; gateway hedged "
+          f"{gateway.hedges - hedges_before} dispatches at the observed "
+          f"p90, {gateway.hedge_wins} won by the fast replica")
+
+    print(f"\nTotals — shed: "
+          f"{sum(s.server.requests_shed for s in services.values())}, "
+          f"deadline refusals: "
+          f"{sum(s.server.deadline_refused for s in services.values())}, "
+          f"breaker trips: {gateway.breaker_trips()}, "
+          f"hedge wins: {gateway.hedge_wins}, "
+          f"stale served: {client.stale_served}, "
+          f"retry_after waits honored: {gateway.rpc.retry_after_waits}")
+    ok = (
+        shed > 0
+        and client.stale_served > 0
+        and gateway.hedge_wins > 0
+        and world.provider.executes > 0
+    )
+    return 0 if ok else 1
+
+
 def cmd_demo_crash(args: argparse.Namespace) -> int:
     import tempfile
     from pathlib import Path
@@ -547,17 +746,20 @@ def cmd_sim(args: argparse.Namespace) -> int:
         print(f"unknown canary {args.canary!r}; "
               f"available: {', '.join(sorted(CANARIES))}")
         return 2
-    result = run_sim(args.seed, args.events, canary=args.canary)
+    result = run_sim(
+        args.seed, args.events, canary=args.canary, profile=args.profile
+    )
     if args.verbose:
         for line in result.log:
             print(line)
     print(f"Applied {result.events_applied}/{result.events} events "
-          f"(seed {result.seed})")
+          f"(seed {result.seed}, profile {args.profile})")
     print(f"event-log fingerprint: {result.fingerprint}")
     if result.violation is not None:
         shrink_hint = result.violation.event_index + 1
         print(f"INVARIANT VIOLATION: {result.violation}")
-        print(f"replay: {replay_command(result.seed, shrink_hint, args.canary)}")
+        print(f"replay: "
+              f"{replay_command(result.seed, shrink_hint, args.canary, args.profile)}")
         return 1
     print("all invariants held after every event")
     return 0
@@ -831,6 +1033,23 @@ def main(argv: list[str] | None = None) -> int:
         choices=["round-robin", "least-outstanding", "seeded-random"],
     )
     fleet.add_argument("--seed", type=int, default=7)
+    overload = subparsers.add_parser(
+        "demo-overload",
+        help="overload resilience: deadline propagation, admission "
+             "shedding, circuit breakers, stale degradation, hedging",
+    )
+    overload.add_argument("--blocks", type=int, default=8)
+    overload.add_argument("--replicas", type=int, default=2)
+    overload.add_argument(
+        "--service-ms", type=float, default=25.0, dest="service_ms",
+        help="modeled per-query service time per replica (default 25)",
+    )
+    overload.add_argument(
+        "--flood", type=int, default=30,
+        help="fire-and-forget queries per replica in the saturation "
+             "segment (default 30)",
+    )
+    overload.add_argument("--seed", type=int, default=7)
     sim = subparsers.add_parser(
         "sim",
         help="deterministic whole-system simulation with global "
@@ -846,6 +1065,11 @@ def main(argv: list[str] | None = None) -> int:
         "--canary", default=None,
         help="arm a deliberately-broken invariant "
              "(see repro.sim.CANARIES) to exercise catch/shrink/replay",
+    )
+    sim.add_argument(
+        "--profile", default="mixed", choices=["mixed", "overload"],
+        help="event mix: 'mixed' (default) or 'overload' "
+             "(saturation-heavy: bursts, deadline batches, slow replicas)",
     )
     sim.add_argument(
         "--verbose", action="store_true",
@@ -890,6 +1114,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": cmd_demo,
         "demo-network": cmd_demo_network,
         "demo-fleet": cmd_demo_fleet,
+        "demo-overload": cmd_demo_overload,
         "demo-crash": cmd_demo_crash,
         "sim": cmd_sim,
         "demo-sim": cmd_demo_sim,

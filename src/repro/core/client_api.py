@@ -123,6 +123,17 @@ class ClientConfig:
     policy: object | None = None
     integrity_retries: int = 2
     cache_capacity: int = 128
+    # -- overload resilience (remote modes) --
+    #: Serve a previously-verified answer flagged ``stale=True`` when
+    #: the whole serving tier sheds or the deadline budget runs out,
+    #: instead of raising.  Off by default: staleness is an explicit
+    #: opt-in (see docs/overload.md for the contract).
+    degrade_to_stale: bool = False
+    #: A :class:`repro.net.resilience.CircuitBreakerPolicy` arming one
+    #: breaker per issuer/provider endpoint (None = no client-side
+    #: breakers).  Gateway-fronted clients configure breakers on the
+    #: gateway instead.
+    endpoint_breaker: object | None = None
     # -- local mode --
     issuer: object | None = None
     # -- post-construction steps --

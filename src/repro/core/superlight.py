@@ -375,6 +375,21 @@ class RemoteSuperlightClient:
         self.issuers = list(config.issuers)
         self.providers = list(config.providers)
         self.gateway = config.gateway
+        # -- overload resilience: stale degradation + endpoint breakers --
+        self.degrade_to_stale = getattr(config, "degrade_to_stale", False)
+        self.stale_served = 0
+        breaker_policy = getattr(config, "endpoint_breaker", None)
+        if breaker_policy is not None:
+            from repro.net.resilience import CircuitBreaker
+
+            self._breakers = {
+                endpoint: CircuitBreaker(
+                    breaker_policy, seed=f"{config.name}:{endpoint}"
+                )
+                for endpoint in (*self.issuers, *self.providers)
+            }
+        else:
+            self._breakers = {}
         if self.gateway is not None and self.gateway.verify_switch is None:
             self.gateway.verify_switch = self._verify_replica_roots
         self.cache = (
@@ -413,20 +428,29 @@ class RemoteSuperlightClient:
         from repro.core.issuer import CertifiedTip
         from repro.errors import (
             NetworkError,
+            OverloadedError,
             ResponseIntegrityError,
             ServiceUnavailableError,
         )
 
         last_error: Exception | None = None
         for issuer_name in self.issuers:
+            if not self._endpoint_permits(issuer_name):
+                continue  # breaker open: don't hammer a struggling CI
             for _attempt in range(self.integrity_retries):
+                self._endpoint_dispatch(issuer_name)
                 try:
                     tip = self.rpc.call(issuer_name, "latest_tip")
+                except OverloadedError as exc:
+                    self._endpoint_failure(issuer_name, overload=exc)
+                    last_error = exc
+                    break  # asked to back off: fail over
                 except ResponseIntegrityError as exc:
                     self.integrity_failures += 1
                     last_error = exc
                     continue
                 except NetworkError as exc:
+                    self._endpoint_failure(issuer_name)
                     last_error = exc
                     break  # endpoint down/unreachable: fail over
                 try:
@@ -450,12 +474,45 @@ class RemoteSuperlightClient:
                         f"verification: {exc}"
                     )
                     continue
+                self._endpoint_success(issuer_name)
                 self._roots_advanced()
                 return tip
             self.failovers += 1
         raise ServiceUnavailableError(
             "no issuer returned a verifiable certified tip"
         ) from last_error
+
+    # -- client-side endpoint breakers ---------------------------------------
+
+    def _endpoint_permits(self, endpoint: str) -> bool:
+        breaker = self._breakers.get(endpoint)
+        return breaker is None or breaker.permits(self.rpc.bus.clock_ms)
+
+    def _endpoint_dispatch(self, endpoint: str) -> None:
+        breaker = self._breakers.get(endpoint)
+        if breaker is not None:
+            breaker.on_dispatch(self.rpc.bus.clock_ms)
+
+    def _endpoint_success(self, endpoint: str) -> None:
+        breaker = self._breakers.get(endpoint)
+        if breaker is not None:
+            breaker.record_success()
+
+    def _endpoint_failure(self, endpoint: str, *, overload=None) -> None:
+        breaker = self._breakers.get(endpoint)
+        if breaker is None:
+            return
+        from repro.net.resilience import clamp_retry_after
+
+        breaker.record_failure(
+            self.rpc.bus.clock_ms,
+            overload=overload is not None,
+            retry_after_ms=(
+                clamp_retry_after(overload.retry_after_ms)
+                if overload is not None
+                else 0.0
+            ),
+        )
 
     def _roots_advanced(self) -> None:
         """Housekeeping after adopting a certified tip: sweep cache
@@ -666,7 +723,7 @@ class RemoteSuperlightClient:
 
     # -- queries ------------------------------------------------------------
 
-    def query(self, request):
+    def query(self, request, *, deadline_ms: float = 0.0):
         """Run one typed query, verifying the answer before returning.
 
         A warm answer-cache hit (same canonical request, same certified
@@ -677,18 +734,55 @@ class RemoteSuperlightClient:
         fault may be transient line corruption) before failing over.
         Raises :class:`~repro.errors.ServiceUnavailableError` when no
         endpoint yields a verifiable answer.
+
+        ``deadline_ms`` (absolute virtual-clock) is propagated down the
+        transport, shrinking hop by hop, so replicas refuse work this
+        call can no longer use.  When the whole tier sheds — every
+        endpoint overloaded, unavailable, or out of budget — a client
+        constructed with ``degrade_to_stale=True`` serves the last
+        *verified* answer for this request as an explicitly-flagged
+        :class:`~repro.query.answercache.StaleAnswer` instead of
+        raising; correctness is never sacrificed, only freshness.
         """
+        from repro.errors import (
+            DeadlineExceededError,
+            OverloadedError,
+            ServiceUnavailableError,
+        )
+
         cached = self._cache_get(request)
         if cached is not None:
             return cached
-        if self.gateway is not None:
-            answer = self._query_gateway(request)
-        else:
-            answer = self._query_providers(request)
+        try:
+            if self.gateway is not None:
+                answer = self._query_gateway(request, deadline_ms)
+            else:
+                answer = self._query_providers(request, deadline_ms)
+        except (
+            OverloadedError,
+            ServiceUnavailableError,
+            DeadlineExceededError,
+        ):
+            stale = self._stale_answer(request)
+            if stale is None:
+                raise
+            return stale
         self._cache_put(request, answer)
         return answer
 
-    def query_many(self, requests):
+    def _stale_answer(self, request):
+        """The graceful-degradation fallback (None when not enabled or
+        nothing verified is on hand)."""
+        if not self.degrade_to_stale or self.cache is None:
+            return None
+        stale = self.cache.get_stale(request)
+        if stale is None:
+            return None
+        self.stale_served += 1
+        obs.inc("resilience.stale_served")
+        return stale
+
+    def query_many(self, requests, *, deadline_ms: float = 0.0):
         """Run a batch of typed queries, pipelined across the fleet.
 
         Requires a gateway (the provider-list transport has no
@@ -714,7 +808,9 @@ class RemoteSuperlightClient:
                 misses.append(position)
         if misses:
             answers = self.gateway.call_many(
-                "execute", [requests[position] for position in misses]
+                "execute",
+                [requests[position] for position in misses],
+                deadline_ms=deadline_ms,
             )
             for position, answer in zip(misses, answers):
                 request = requests[position]
@@ -731,14 +827,16 @@ class RemoteSuperlightClient:
                 results[position] = answer
         return results
 
-    def _query_gateway(self, request):
+    def _query_gateway(self, request, deadline_ms: float = 0.0):
         """One query via the gateway, re-verifying until it checks out."""
         from repro.errors import ResponseIntegrityError, ServiceUnavailableError
         from repro.query.api import QueryAnswer
 
         last_error: Exception | None = None
         for _attempt in range(max(1, self.integrity_retries)):
-            answer = self.gateway.call("execute", request)
+            answer = self.gateway.call(
+                "execute", request, deadline_ms=deadline_ms
+            )
             if isinstance(answer, QueryAnswer) and self.client.verify_answer(
                 request, answer
             ):
@@ -753,9 +851,11 @@ class RemoteSuperlightClient:
             f"{type(request).__name__}"
         ) from last_error
 
-    def _query_providers(self, request):
+    def _query_providers(self, request, deadline_ms: float = 0.0):
         from repro.errors import (
+            DeadlineExceededError,
             NetworkError,
+            OverloadedError,
             ResponseIntegrityError,
             ServiceUnavailableError,
         )
@@ -763,19 +863,35 @@ class RemoteSuperlightClient:
 
         last_error: Exception | None = None
         for provider_name in self.providers:
+            if not self._endpoint_permits(provider_name):
+                continue  # breaker open: spare a struggling provider
             for _attempt in range(self.integrity_retries):
+                self._endpoint_dispatch(provider_name)
                 try:
-                    answer = self.rpc.call(provider_name, "execute", request)
+                    answer = self.rpc.call(
+                        provider_name,
+                        "execute",
+                        request,
+                        deadline_ms=deadline_ms,
+                    )
+                except OverloadedError as exc:
+                    self._endpoint_failure(provider_name, overload=exc)
+                    last_error = exc
+                    break  # asked to back off: fail over
+                except DeadlineExceededError:
+                    raise  # the budget is gone everywhere at once
                 except ResponseIntegrityError as exc:
                     self.integrity_failures += 1
                     last_error = exc
                     continue
                 except NetworkError as exc:
+                    self._endpoint_failure(provider_name)
                     last_error = exc
                     break  # endpoint down/unreachable: fail over
                 if isinstance(answer, QueryAnswer) and self.client.verify_answer(
                     request, answer
                 ):
+                    self._endpoint_success(provider_name)
                     return answer
                 self.integrity_failures += 1
                 last_error = ResponseIntegrityError(
@@ -808,8 +924,11 @@ class RemoteSuperlightClient:
         if self.cache is None:
             return
         root = self._certified_root_or_none(request)
-        if root is not None:
-            self.cache.put(request, root, answer)
+        if root is None:
+            return
+        entry = self.client._index_roots.get(getattr(request, "index", None))
+        height = entry[0] if entry else -1
+        self.cache.put(request, root, answer, height=height)
 
     # -- replica switch verification ----------------------------------------
 

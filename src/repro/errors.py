@@ -166,6 +166,39 @@ class RemoteCallError(NetworkError):
     retryable = False
 
 
+class OverloadedError(NetworkError):
+    """The endpoint is alive but shed this request under load.
+
+    Retryable, but only *with backoff*: the server attaches a
+    ``retry_after_ms`` hint (how long until its admission queue should
+    drain back under the shed threshold) and clients wait at least that
+    long — clamped, since the hint crosses the wire from an untrusted
+    endpoint — before the next attempt.  Immediate retries are exactly
+    the amplification that turns a load spike into a metastable
+    failure."""
+
+    code = "net.overloaded"
+
+    def __init__(self, message: str = "", *, retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        #: Server-suggested backoff before retrying.  Advisory and
+        #: untrusted: consumers clamp it (see
+        #: :func:`repro.net.resilience.clamp_retry_after`).
+        self.retry_after_ms = retry_after_ms
+
+
+class DeadlineExceededError(NetworkError):
+    """The request's propagated deadline expired before an answer.
+
+    Not retryable, despite being transport-class: the time budget is a
+    property of the *call*, not the endpoint — re-sending the same
+    expired deadline deterministically fails again, and minting a fresh
+    deadline is the caller's decision, not the retry loop's."""
+
+    code = "net.deadline"
+    retryable = False
+
+
 # -- the code registry --------------------------------------------------------
 
 

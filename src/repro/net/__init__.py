@@ -26,6 +26,10 @@ deterministically and without sockets:
   recovery, failover with switch re-verification.
 * :mod:`supervisor` — crash detection + bounded-backoff restart for any
   RPC-fronted service (issuer or query replica).
+* :mod:`resilience` — the overload-protection primitives: deadline
+  propagation, CoDel-style admission control, circuit breakers,
+  per-endpoint latency tracking, and hedged-request policy (see
+  docs/overload.md).
 """
 
 from repro.net.bus import MessageBus, NetworkNode
@@ -47,6 +51,16 @@ from repro.net.messages import (
     StreamAck,
 )
 from repro.net.pubsub import SubscriptionHub, TipAnnouncement
+from repro.net.resilience import (
+    AdmissionPolicy,
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    HedgePolicy,
+    LatencyTracker,
+    clamp_retry_after,
+    sanitize_deadline,
+    shrink_deadline,
+)
 from repro.net.rpc import RetryPolicy, RpcClient, RpcRequest, RpcResponse, RpcServer
 from repro.net.supervisor import (
     IssuerSupervisor,
@@ -55,10 +69,15 @@ from repro.net.supervisor import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
     "BlockAnnouncement",
     "CertificateAnnouncement",
+    "CircuitBreaker",
+    "CircuitBreakerPolicy",
     "FaultInjector",
     "HealthPolicy",
+    "HedgePolicy",
+    "LatencyTracker",
     "IssuerSupervisor",
     "LagNotice",
     "LeastOutstanding",
@@ -80,5 +99,8 @@ __all__ = [
     "StreamAck",
     "SubscriptionHub",
     "TipAnnouncement",
+    "clamp_retry_after",
     "make_balancer",
+    "sanitize_deadline",
+    "shrink_deadline",
 ]

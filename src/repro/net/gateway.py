@@ -47,12 +47,23 @@ from typing import Callable, Sequence
 
 from repro import obs
 from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
     ReproError,
     ResponseIntegrityError,
     RpcTimeoutError,
     ServiceUnavailableError,
 )
 from repro.net.bus import MessageBus
+from repro.net.resilience import (
+    NO_DEADLINE,
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    HedgePolicy,
+    clamp_retry_after,
+    sanitize_deadline,
+    shrink_deadline,
+)
 from repro.net.rpc import RetryPolicy, RpcClient
 
 
@@ -78,12 +89,23 @@ class HealthPolicy:
 class ReplicaState:
     """Everything the gateway knows about one replica endpoint."""
 
-    def __init__(self, name: str, *, outstanding_limit: int = 256) -> None:
+    def __init__(
+        self,
+        name: str,
+        *,
+        outstanding_limit: int = 256,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
         self.name = name
         self.healthy = True
         self.consecutive_failures = 0
         self.probe_attempt = 0
         self.next_probe_ms = 0.0
+        #: Optional per-endpoint circuit breaker.  Health answers "is
+        #: it alive"; the breaker answers "should it get traffic now" —
+        #: in particular it absorbs OVERLOADED backpressure, which is
+        #: not a liveness failure and must not eject the replica.
+        self.breaker = breaker
         #: request_id -> dispatch virtual time; bounded like
         #: ``NetworkNode.received`` so chaos runs cannot grow memory.
         self.inflight: OrderedDict[int, float] = OrderedDict()
@@ -91,6 +113,7 @@ class ReplicaState:
         self.dispatched = 0
         self.answered = 0
         self.failures = 0
+        self.overloads = 0
 
     @property
     def outstanding(self) -> int:
@@ -106,8 +129,11 @@ class ReplicaState:
         self.inflight.pop(request_id, None)
 
     def eligible(self, now_ms: float) -> bool:
-        """In rotation, or unhealthy with a probe due."""
-        return self.healthy or now_ms >= self.next_probe_ms
+        """In rotation (or probing), and not breaker-blocked."""
+        in_rotation = self.healthy or now_ms >= self.next_probe_ms
+        if not in_rotation:
+            return False
+        return self.breaker is None or self.breaker.permits(now_ms)
 
 
 # -- balancing policies -------------------------------------------------------
@@ -193,6 +219,9 @@ class QueryGateway:
         health: HealthPolicy | None = None,
         verify_switch: Callable[[str], None] | None = None,
         outstanding_limit: int = 256,
+        breaker: CircuitBreakerPolicy | None = None,
+        hedge: HedgePolicy | None = None,
+        hop_margin_ms: float = 10.0,
     ) -> None:
         if not replicas:
             raise ValueError("a gateway needs at least one replica")
@@ -204,12 +233,28 @@ class QueryGateway:
             or RetryPolicy(
                 timeout_ms=250.0, max_attempts=1, backoff_base_ms=25.0
             ),
+            seed=seed,
         )
         self.health = health or HealthPolicy()
         self.verify_switch = verify_switch
+        #: None disables per-replica breakers (the pre-resilience
+        #: behaviour); a policy arms one breaker per replica, each with
+        #: its own seeded jitter stream.
+        self.breaker_policy = breaker
+        self.hedge = hedge or HedgePolicy(enabled=False)
+        #: Budget surrendered per hop when propagating a deadline, so
+        #: the replica's reply can still travel back before *our*
+        #: caller's deadline.
+        self.hop_margin_ms = hop_margin_ms
         self.replicas: dict[str, ReplicaState] = {
             replica: ReplicaState(
-                replica, outstanding_limit=outstanding_limit
+                replica,
+                outstanding_limit=outstanding_limit,
+                breaker=(
+                    CircuitBreaker(breaker, seed=f"{name}:{replica}")
+                    if breaker is not None
+                    else None
+                ),
             )
             for replica in replicas
         }
@@ -226,23 +271,56 @@ class QueryGateway:
         self._verified: set[str] = set()
         self.failovers = 0
         self.switches = 0
+        self.hedges = 0
+        self.hedge_wins = 0
 
     # -- health bookkeeping --------------------------------------------------
 
     def healthy_replicas(self) -> list[str]:
         return [s.name for s in self.replicas.values() if s.healthy]
 
+    def breaker_trips(self) -> int:
+        """Total breaker open-transitions across the fleet (for the
+        demo/metrics surface)."""
+        return sum(
+            s.breaker.trips for s in self.replicas.values() if s.breaker
+        )
+
     def _mark_success(self, state: ReplicaState) -> None:
         state.answered += 1
         state.consecutive_failures = 0
+        if state.breaker is not None:
+            state.breaker.record_success()
         if not state.healthy:
             state.healthy = True
             state.probe_attempt = 0
             obs.inc("gateway.replica_restored")
         obs.set_gauge("gateway.replicas_healthy", len(self.healthy_replicas()))
 
-    def _mark_failure(self, state: ReplicaState) -> None:
+    def _mark_failure(
+        self, state: ReplicaState, *, overload: OverloadedError | None = None
+    ) -> None:
         state.failures += 1
+        if state.breaker is not None:
+            was_open = state.breaker.state == CircuitBreaker.OPEN
+            state.breaker.record_failure(
+                self.bus.clock_ms,
+                overload=overload is not None,
+                retry_after_ms=(
+                    clamp_retry_after(overload.retry_after_ms)
+                    if overload is not None
+                    else 0.0
+                ),
+            )
+            if not was_open and state.breaker.state == CircuitBreaker.OPEN:
+                obs.inc("resilience.breaker.trips")
+            if overload is not None:
+                # Saturation, not death: the breaker owns backpressure;
+                # the liveness ejection counter is left alone so an
+                # overloaded replica is not misdiagnosed as dead.
+                state.overloads += 1
+                obs.inc("resilience.gateway.overloads")
+                return
         state.consecutive_failures += 1
         if state.healthy:
             if state.consecutive_failures >= self.health.failure_threshold:
@@ -272,6 +350,13 @@ class QueryGateway:
         with a non-empty fleet, defensively handled anyway).
         """
         pending = [s.next_probe_ms for s in self.replicas.values() if not s.healthy]
+        pending += [
+            s.breaker.reopen_at_ms
+            for s in self.replicas.values()
+            if s.healthy
+            and s.breaker is not None
+            and s.breaker.reopen_at_ms is not None
+        ]
         if not pending:
             return False
         # Deliver any in-flight traffic on the way to the probe window.
@@ -319,9 +404,16 @@ class QueryGateway:
         argument: object = None,
         *,
         max_dispatches: int | None = None,
+        deadline_ms: float = NO_DEADLINE,
     ) -> object:
         """Call ``method`` on the fleet; fail over until a replica
         answers or the dispatch budget is spent.
+
+        ``deadline_ms`` is the caller's absolute virtual-clock budget:
+        it is propagated (shrunk by :attr:`hop_margin_ms`) to every
+        replica dispatch, and once spent the call raises
+        :class:`~repro.errors.DeadlineExceededError` instead of burning
+        further dispatches.
 
         Raises the remote error unchanged when it is terminal (not
         retryable — a bad query is bad on every replica), and
@@ -329,8 +421,13 @@ class QueryGateway:
         within the budget.
         """
         budget = max_dispatches or max(3, 2 * len(self.replicas))
+        deadline = sanitize_deadline(deadline_ms)
         last_error: ReproError | None = None
         for _ in range(budget):
+            if deadline and self.bus.clock_ms >= deadline:
+                raise DeadlineExceededError(
+                    f"deadline for {method!r} expired during failover"
+                ) from last_error
             candidates = self._candidates()
             if not candidates:
                 if not self._wait_for_probe_window():
@@ -348,29 +445,184 @@ class QueryGateway:
             if probing:
                 obs.inc("gateway.probes")
             try:
-                result = self.rpc.call(state.name, method, argument)
-            except (RpcTimeoutError, ResponseIntegrityError) as exc:
+                return self._dispatch(state, method, argument, deadline)
+            except OverloadedError as exc:
                 last_error = exc
-                self._mark_failure(state)
                 self.failovers += 1
                 obs.inc("gateway.failovers")
                 continue
+            except (RpcTimeoutError, ResponseIntegrityError) as exc:
+                last_error = exc
+                self.failovers += 1
+                obs.inc("gateway.failovers")
+                continue
+            except DeadlineExceededError:
+                # The budget is a property of the call: no other
+                # replica can answer faster than time allows.
+                raise
             except ReproError as exc:
                 if exc.retryable:
                     last_error = exc
-                    self._mark_failure(state)
                     self.failovers += 1
                     obs.inc("gateway.failovers")
                     continue
                 # Terminal: retrying elsewhere cannot change the outcome.
                 raise
-            self._mark_success(state)
-            self.current = state.name
-            return result
         raise ServiceUnavailableError(
             f"no replica answered {method!r} within {budget} dispatches"
             + (f" (last: {last_error})" if last_error else "")
         )
+
+    def _dispatch(
+        self,
+        state: ReplicaState,
+        method: str,
+        argument: object,
+        deadline: float,
+    ) -> object:
+        """One (possibly hedged) dispatch to ``state``.
+
+        Owns all health/breaker marking for the dispatch — including
+        the hedge case, where the answering replica may not be the one
+        originally picked — and sets :attr:`current` on success.
+        """
+        hedge_delay = self.hedge.delay_ms(
+            self.rpc.latency.get(state.name)
+        )
+        if hedge_delay is not None and len(self.replicas) > 1:
+            return self._hedged_dispatch(
+                state, method, argument, deadline, hedge_delay
+            )
+        if state.breaker is not None:
+            state.breaker.on_dispatch(self.bus.clock_ms)
+        started = self.bus.clock_ms
+        downstream = shrink_deadline(deadline, self.hop_margin_ms)
+        try:
+            result = self.rpc.call(
+                state.name, method, argument, deadline_ms=downstream
+            )
+        except OverloadedError as exc:
+            self._mark_failure(state, overload=exc)
+            raise
+        except (RpcTimeoutError, ResponseIntegrityError):
+            self._mark_failure(state)
+            raise
+        except ReproError as exc:
+            if exc.retryable:
+                self._mark_failure(state)
+            raise
+        self.rpc._track_latency(state.name, self.bus.clock_ms - started)
+        self._mark_success(state)
+        self.current = state.name
+        return result
+
+    def _hedged_dispatch(
+        self,
+        primary: ReplicaState,
+        method: str,
+        argument: object,
+        deadline: float,
+        hedge_delay_ms: float,
+    ) -> object:
+        """Primary dispatch plus one hedged attempt at the observed
+        tail: if the primary has not answered within ``hedge_delay_ms``
+        (its own p90), send the same request to a *different* replica
+        and take whichever response lands first, abandoning the loser.
+
+        The loser is merely slow, not failed — it is abandoned without
+        a health or breaker strike, so hedging never poisons the
+        rotation.  Both timing out marks both and raises
+        :class:`~repro.errors.RpcTimeoutError` for the failover loop.
+        """
+        started = self.bus.clock_ms
+        downstream = shrink_deadline(deadline, self.hop_margin_ms)
+        timeout_at = started + self.rpc.policy.timeout_ms
+        if deadline:
+            timeout_at = min(timeout_at, deadline)
+        hedge_at = started + hedge_delay_ms
+        if primary.breaker is not None:
+            primary.breaker.on_dispatch(started)
+        owners: dict[int, ReplicaState] = {}
+        rid = self.rpc.begin(
+            primary.name, method, argument, deadline_ms=downstream
+        )
+        primary.track(rid, started)
+        owners[rid] = primary
+        hedged = False
+        winner_rid: int | None = None
+        while True:
+            for rid in owners:
+                if self.rpc.has_response(rid):
+                    winner_rid = rid
+                    break
+            if winner_rid is not None or self.bus.clock_ms >= timeout_at:
+                break
+            if not hedged and self.bus.clock_ms >= hedge_at:
+                hedged = True
+                other = self._hedge_candidate(primary)
+                if other is not None:
+                    self.hedges += 1
+                    obs.inc("resilience.hedges")
+                    if other.breaker is not None:
+                        other.breaker.on_dispatch(self.bus.clock_ms)
+                    hedge_rid = self.rpc.begin(
+                        other.name, method, argument, deadline_ms=downstream
+                    )
+                    other.track(hedge_rid, self.bus.clock_ms)
+                    owners[hedge_rid] = other
+            horizon = timeout_at if hedged else min(timeout_at, hedge_at)
+            if not self.bus.step(horizon):
+                self.bus.wait_until(horizon)
+        if winner_rid is None:
+            for rid, state in owners.items():
+                state.settle(rid)
+                self.rpc.abandon(rid)
+                self._mark_failure(state)
+            self.rpc.timeouts += 1
+            obs.inc("rpc.client.timeouts")
+            raise RpcTimeoutError(
+                f"no replica answered hedged {method!r} within "
+                f"{timeout_at - started:.0f} ms"
+            )
+        winner = owners.pop(winner_rid)
+        winner.settle(winner_rid)
+        for rid, state in owners.items():  # abandon the slow loser(s)
+            state.settle(rid)
+            self.rpc.abandon(rid)
+        response = self.rpc.take(winner_rid)
+        self.rpc._track_latency(winner.name, self.bus.clock_ms - started)
+        if winner is not primary:
+            self.hedge_wins += 1
+            obs.inc("resilience.hedge_wins")
+        try:
+            result = self.rpc.resolve(
+                response, target=winner.name, method=method
+            )
+        except OverloadedError as exc:
+            self._mark_failure(winner, overload=exc)
+            raise
+        except (RpcTimeoutError, ResponseIntegrityError):
+            self._mark_failure(winner)
+            raise
+        except ReproError as exc:
+            if exc.retryable:
+                self._mark_failure(winner)
+            raise
+        self._mark_success(winner)
+        self.current = winner.name
+        return result
+
+    def _hedge_candidate(self, primary: ReplicaState) -> ReplicaState | None:
+        """An eligible, verified replica other than ``primary``."""
+        now = self.bus.clock_ms
+        for state in self.replicas.values():
+            if state is primary or not state.eligible(now):
+                continue
+            if not state.healthy:
+                continue  # don't spend a probe on a hedge
+            if self._ensure_verified(state):
+                return state
+        return None
 
     # -- the pipelined path --------------------------------------------------
 
@@ -381,6 +633,7 @@ class QueryGateway:
         *,
         timeout_ms: float | None = None,
         max_dispatches_per_item: int = 4,
+        deadline_ms: float = NO_DEADLINE,
     ) -> list[object]:
         """Dispatch every argument concurrently across the fleet.
 
@@ -388,9 +641,12 @@ class QueryGateway:
         number of dispatches (failing over between replicas); a
         terminal remote error for any item is raised immediately.  With
         busy-worker replicas this is the path that turns N replicas
-        into ~N× throughput.
+        into ~N× throughput.  ``deadline_ms`` (absolute) is propagated,
+        shrunk one hop, to every dispatch.
         """
         timeout = timeout_ms or self.rpc.policy.timeout_ms
+        deadline = sanitize_deadline(deadline_ms)
+        downstream = shrink_deadline(deadline, self.hop_margin_ms)
         results: list[object] = [None] * len(arguments)
         todo: list[tuple[int, int]] = [(i, 0) for i in range(len(arguments))]
         # request_id -> (item index, dispatch count, replica, deadline)
@@ -415,15 +671,20 @@ class QueryGateway:
                     continue
                 if not state.healthy:
                     obs.inc("gateway.probes")
+                if state.breaker is not None:
+                    state.breaker.on_dispatch(self.bus.clock_ms)
                 request_id = self.rpc.begin(
-                    state.name, method, arguments[item]
+                    state.name, method, arguments[item], deadline_ms=downstream
                 )
                 state.track(request_id, self.bus.clock_ms)
+                item_deadline = self.bus.clock_ms + timeout
+                if deadline:
+                    item_deadline = min(item_deadline, deadline)
                 pending[request_id] = (
                     item,
                     dispatches + 1,
                     state,
-                    self.bus.clock_ms + timeout,
+                    item_deadline,
                 )
             todo = still_waiting
             if not pending:
@@ -451,7 +712,13 @@ class QueryGateway:
                     result = self.rpc.resolve(
                         response, target=state.name, method=method
                     )
-                except (RpcTimeoutError, ResponseIntegrityError) as exc:
+                except OverloadedError as exc:
+                    self._mark_failure(state, overload=exc)
+                    self.failovers += 1
+                    obs.inc("gateway.failovers")
+                    todo.append((item, dispatches))
+                    continue
+                except (RpcTimeoutError, ResponseIntegrityError):
                     self._mark_failure(state)
                     self.failovers += 1
                     obs.inc("gateway.failovers")

@@ -27,11 +27,14 @@ from __future__ import annotations
 
 import random
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro import obs
 from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
     RemoteCallError,
     ReproError,
     ResponseIntegrityError,
@@ -40,6 +43,13 @@ from repro.errors import (
 from repro.net import wire
 from repro.net.bus import MessageBus, NetworkNode
 from repro.net.faults import flip_hex_digit
+from repro.net.resilience import (
+    NO_DEADLINE,
+    AdmissionPolicy,
+    LatencyTracker,
+    clamp_retry_after,
+    sanitize_deadline,
+)
 
 
 def rpc_topic(name: str) -> str:
@@ -49,12 +59,22 @@ def rpc_topic(name: str) -> str:
 
 @dataclass(frozen=True, slots=True)
 class RpcRequest:
-    """One call envelope: who asks, what method, encoded arguments."""
+    """One call envelope: who asks, what method, encoded arguments.
+
+    ``deadline_ms`` is the caller's *absolute* virtual-clock deadline
+    (0 = none): a server refuses to start — and never hands to its
+    provider — work it cannot finish by then.  The field is advisory
+    and attacker-controllable, so servers sanitize it and the safe
+    degradation is "no deadline" (see
+    :func:`repro.net.resilience.sanitize_deadline`); a forged deadline
+    can only cause a refusal, never a wrong answer.
+    """
 
     request_id: int
     sender: str
     method: str
     payload: bytes
+    deadline_ms: float = NO_DEADLINE
 
     def corrupted(self, rng: random.Random) -> "RpcRequest":
         return replace(self, payload=flip_hex_digit(self.payload, rng))
@@ -67,13 +87,20 @@ class RpcResponse:
     :mod:`repro.errors` taxonomy in ``code`` (empty on success), so
     callers — retry loops, the query gateway — can classify the failure
     (retryable transport fault vs terminal verification error) without
-    parsing strings out of the payload."""
+    parsing strings out of the payload.
+
+    ``retry_after_ms`` rides along on an ``net.overloaded`` failure:
+    the server's estimate of when its admission queue will have drained
+    back under the shed threshold.  Advisory and untrusted — clients
+    clamp it (:func:`repro.net.resilience.clamp_retry_after`), so a
+    forged hint can delay one retry but never stall a caller."""
 
     request_id: int
     sender: str
     ok: bool
     payload: bytes
     code: str = ""
+    retry_after_ms: float = 0.0
 
     def corrupted(self, rng: random.Random) -> "RpcResponse":
         return replace(self, payload=flip_hex_digit(self.payload, rng))
@@ -81,20 +108,40 @@ class RpcResponse:
 
 @dataclass(frozen=True, slots=True)
 class RetryPolicy:
-    """Per-call timeout and bounded exponential backoff schedule."""
+    """Per-call timeout and bounded exponential backoff schedule.
+
+    ``jitter`` spreads each backoff uniformly over ``±jitter`` of its
+    nominal value (from the client's *seeded* stream, so runs stay
+    deterministic).  A fleet whose clients share one pure-exponential
+    schedule retries in lockstep — every wave of retries lands on the
+    servers at the same virtual instant, which is how a load spike
+    becomes a standing one; jitter desynchronizes the waves.  The
+    default is 0 for bit-compatibility with existing schedules; fleet
+    construction paths opt in.
+
+    ``adaptive_timeout`` lets the client tighten the per-attempt
+    timeout below ``timeout_ms`` using its observed per-endpoint
+    latency (p90 × 3, floored) once enough samples exist; the static
+    ``timeout_ms`` stays the ceiling.
+    """
 
     timeout_ms: float = 500.0
     max_attempts: int = 4
     backoff_base_ms: float = 50.0
     backoff_factor: float = 2.0
     backoff_max_ms: float = 1_000.0
+    jitter: float = 0.0
+    adaptive_timeout: bool = False
 
-    def backoff_ms(self, attempt: int) -> float:
+    def backoff_ms(self, attempt: int, rng: random.Random | None = None) -> float:
         """Backoff to wait after the ``attempt``-th failure (0-based)."""
-        return min(
+        nominal = min(
             self.backoff_base_ms * self.backoff_factor**attempt,
             self.backoff_max_ms,
         )
+        if self.jitter and rng is not None:
+            nominal *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, nominal)
 
 
 Handler = Callable[[object], object]
@@ -119,7 +166,12 @@ class RpcServer:
     """
 
     def __init__(
-        self, bus: MessageBus, name: str, *, service_time_ms: float = 0.0
+        self,
+        bus: MessageBus,
+        name: str,
+        *,
+        service_time_ms: float = 0.0,
+        admission: AdmissionPolicy | None = None,
     ) -> None:
         self.bus = bus
         self.name = name
@@ -132,6 +184,27 @@ class RpcServer:
         self._service_times: dict[str, float] = {}
         self.requests_served = 0
         self.requests_dropped = 0
+        #: Load shedding for the busy worker (None = admit everything,
+        #: the original unbounded-queue behaviour).
+        self.admission = admission
+        #: Admitted-but-unfinished busy-worker requests (the queue the
+        #: admission policy bounds).
+        self.queued = 0
+        #: Requests refused with OVERLOADED / DEADLINE_EXCEEDED.  These
+        #: never reach a handler — the sim invariant "shed requests do
+        #: zero provider work" rests on that.
+        self.requests_shed = 0
+        self.deadline_refused = 0
+        #: Admitted requests whose reply would nonetheless have missed
+        #: their propagated deadline by more than one service quantum.
+        #: With admission prediction on the virtual clock this must stay
+        #: 0 — asserted as a sim invariant.
+        self.deadline_violations = 0
+        #: Handler invocations per method — the ground truth the sim
+        #: uses to prove shed work never executed.
+        self.invocations: dict[str, int] = {}
+        #: Largest queue delay an admitted request experienced.
+        self.max_queue_delay_ms = 0.0
         #: While True the endpoint behaves like a dead host: every
         #: request is dropped without a reply.  A supervisor pauses the
         #: server while its backing service is being restored (the bus
@@ -180,6 +253,11 @@ class RpcServer:
                 error=RemoteCallError(f"unknown method {message.method!r}"),
             )
             return
+        if not self._admit(message):
+            return
+        self.invocations[message.method] = (
+            self.invocations.get(message.method, 0) + 1
+        )
         started = time.perf_counter()
         try:
             result = handler(argument)
@@ -200,12 +278,71 @@ class RpcServer:
         self.requests_served += 1
         self._reply(message, result=result)
 
+    def _service_ms(self, method: str) -> float:
+        return self._service_times.get(method, self.service_time_ms)
+
+    def _admit(self, message: RpcRequest) -> bool:
+        """Deadline + admission gate, *before* the handler runs.
+
+        A refusal replies immediately (refusing is metadata-cheap; only
+        admitted work occupies the busy worker) and never invokes the
+        handler, so shed or expired requests cost zero provider work.
+        On the virtual clock the worker's start time is exactly
+        predictable, so "refuse what would miss its deadline" at
+        arrival is the same act as "abandon queued work whose deadline
+        expired" at dequeue — there is no window in which a doomed
+        request can sit in the queue.
+        """
+        service_ms = self._service_ms(message.method)
+        now_ms = self.bus.clock_ms
+        start_ms = max(now_ms, self.busy_until_ms)
+        deadline = sanitize_deadline(message.deadline_ms)
+        if deadline and start_ms + service_ms > deadline:
+            self.deadline_refused += 1
+            obs.inc("resilience.server.deadline_refused")
+            self._reply(
+                message,
+                error=DeadlineExceededError(
+                    f"{message.method!r} would complete at "
+                    f"{start_ms + service_ms:.1f} ms, past the caller's "
+                    f"deadline of {deadline:.1f} ms"
+                ),
+                immediate=True,
+            )
+            return False
+        if self.admission is not None and service_ms > 0.0:
+            queue_delay_ms = start_ms - now_ms
+            if (
+                self.queued >= self.admission.queue_limit
+                or queue_delay_ms > self.admission.shed_delay_ms
+            ):
+                hint = self.admission.retry_after_hint(
+                    queue_delay_ms, service_ms
+                )
+                self.requests_shed += 1
+                obs.inc("resilience.server.shed")
+                self._reply(
+                    message,
+                    error=OverloadedError(
+                        f"{self.name} shed {message.method!r}: predicted "
+                        f"queue delay {queue_delay_ms:.1f} ms over the "
+                        f"{self.admission.shed_delay_ms:.1f} ms target",
+                        retry_after_ms=hint,
+                    ),
+                    immediate=True,
+                    retry_after_ms=hint,
+                )
+                return False
+        return True
+
     def _reply(
         self,
         request: RpcRequest,
         *,
         result: object = None,
         error: ReproError | None = None,
+        immediate: bool = False,
+        retry_after_ms: float = 0.0,
     ) -> None:
         from repro.errors import code_for
 
@@ -218,34 +355,73 @@ class RpcServer:
             ok=ok,
             payload=payload,
             code="" if ok else code_for(error),
+            retry_after_ms=retry_after_ms,
         )
 
         def send() -> None:
+            self.queued -= 1
             self.bus.send(
                 self.name, request.sender, rpc_topic(request.sender), response
             )
 
-        service_ms = self._service_times.get(
-            request.method, self.service_time_ms
-        )
-        if service_ms <= 0.0:
-            send()
+        service_ms = self._service_ms(request.method)
+        if immediate or service_ms <= 0.0:
+            self.bus.send(
+                self.name, request.sender, rpc_topic(request.sender), response
+            )
             return
         # Single-threaded worker: this request starts when the previous
         # one finishes, and the reply leaves at completion time.
         start_ms = max(self.bus.clock_ms, self.busy_until_ms)
         self.busy_until_ms = start_ms + service_ms
-        obs.observe(
-            "rpc.server.queue_ms", start_ms - self.bus.clock_ms
-        )
+        queue_delay_ms = start_ms - self.bus.clock_ms
+        if queue_delay_ms > self.max_queue_delay_ms:
+            self.max_queue_delay_ms = queue_delay_ms
+        obs.observe("rpc.server.queue_ms", queue_delay_ms)
+        deadline = sanitize_deadline(request.deadline_ms)
+        if deadline and self.busy_until_ms > deadline + max(service_ms, 1.0):
+            # Admission should have refused this request; if it ever
+            # happens the sim's deadline invariant trips.
+            self.deadline_violations += 1
+            obs.inc("resilience.server.deadline_violations")
+        self.queued += 1
+        obs.set_gauge(f"resilience.queue_depth.{self.name}", self.queued)
         self.bus.schedule(self.busy_until_ms - self.bus.clock_ms, send)
 
 
 class RpcClient:
-    """Blocking (virtual-time) calls with timeout, retry, and backoff."""
+    """Blocking (virtual-time) calls with timeout, retry, and backoff.
+
+    The client also carries the caller-side half of the overload story:
+
+    * a **seeded jitter stream** for :class:`RetryPolicy.jitter`, keyed
+      by the client's name — deterministic, but distinct per client, so
+      a fleet's backoffs desynchronize instead of stampeding;
+    * **deadline propagation** — ``call``/``begin`` accept an absolute
+      ``deadline_ms``; a call whose budget is spent raises
+      :class:`~repro.errors.DeadlineExceededError` locally without
+      sending anything (zero downstream work);
+    * **retry-after honoring** — an ``OVERLOADED`` refusal's (clamped)
+      ``retry_after_ms`` hint extends the backoff before the next
+      attempt;
+    * **per-endpoint latency tracking** (:attr:`latency`) feeding
+      adaptive timeouts when the policy opts in;
+    * **bounded response bookkeeping** — ``_responses`` is swept on
+      abandon and capped, so late replies to abandoned requests can
+      never grow memory (asserted as a sim invariant).
+    """
+
+    #: Caps on retained responses and remembered abandoned ids.
+    RESPONSES_LIMIT = 256
+    ABANDONED_LIMIT = 1024
 
     def __init__(
-        self, bus: MessageBus, name: str, policy: RetryPolicy | None = None
+        self,
+        bus: MessageBus,
+        name: str,
+        policy: RetryPolicy | None = None,
+        *,
+        seed: int = 0,
     ) -> None:
         self.bus = bus
         self.name = name
@@ -254,7 +430,16 @@ class RpcClient:
         self.node.on(rpc_topic(name), self._on_response)
         self._next_id = 1
         self._pending: set[int] = set()
-        self._responses: dict[int, RpcResponse] = {}
+        self._responses: "OrderedDict[int, RpcResponse]" = OrderedDict()
+        #: Request ids abandoned while still pending: a late reply to
+        #: one of these is dropped (and counted) instead of retained.
+        self._abandoned: "OrderedDict[int, None]" = OrderedDict()
+        #: Deterministic per-client stream for backoff jitter: seeded
+        #: by name, so each client walks its own schedule and the same
+        #: run replays bit-identically.
+        self._rng = random.Random(f"rpc-client:{name}:{seed}")
+        #: Observed per-endpoint latency (virtual ms, successful calls).
+        self.latency: dict[str, LatencyTracker] = {}
         #: Logical calls made (one per :meth:`call`, however many
         #: attempts it took) plus one per :meth:`begin`.  The verified
         #: answer cache's "zero round trips on a warm hit" claim is
@@ -262,19 +447,49 @@ class RpcClient:
         self.calls = 0
         self.timeouts = 0
         self.duplicates_ignored = 0
+        self.late_after_abandon = 0
+        self.retry_after_waits = 0
+        self.deadline_gaveups = 0
 
     def _on_response(self, message: object) -> None:
         if not isinstance(message, RpcResponse):
             return
         if message.request_id not in self._pending:
+            if message.request_id in self._abandoned:
+                del self._abandoned[message.request_id]
+                self.late_after_abandon += 1
+                obs.inc("rpc.client.late_after_abandon")
             self.duplicates_ignored += 1  # late or duplicated reply
             return
         self._pending.discard(message.request_id)
         self._responses[message.request_id] = message
+        while len(self._responses) > self.RESPONSES_LIMIT:
+            self._responses.popitem(last=False)
+
+    def _track_latency(self, target: str, sample_ms: float) -> None:
+        tracker = self.latency.get(target)
+        if tracker is None:
+            tracker = self.latency[target] = LatencyTracker()
+        tracker.observe(sample_ms)
+
+    def _attempt_timeout_ms(self, target: str, policy: RetryPolicy) -> float:
+        if not policy.adaptive_timeout:
+            return policy.timeout_ms
+        tracker = self.latency.get(target)
+        if tracker is None:
+            return policy.timeout_ms
+        return tracker.timeout_ms(policy.timeout_ms)
 
     # -- non-blocking primitives (the gateway's pipelined dispatch) ----------
 
-    def begin(self, target: str, method: str, argument: object = None) -> int:
+    def begin(
+        self,
+        target: str,
+        method: str,
+        argument: object = None,
+        *,
+        deadline_ms: float = NO_DEADLINE,
+    ) -> int:
         """Send one request without waiting; returns its request id.
 
         Pair with :meth:`take` (poll for the raw response while driving
@@ -283,9 +498,18 @@ class RpcClient:
         """
         self.calls += 1
         obs.inc("rpc.client.calls")
-        return self._send(target, method, wire.encode(argument))
+        return self._send(
+            target, method, wire.encode(argument), deadline_ms=deadline_ms
+        )
 
-    def _send(self, target: str, method: str, payload: bytes) -> int:
+    def _send(
+        self,
+        target: str,
+        method: str,
+        payload: bytes,
+        *,
+        deadline_ms: float = NO_DEADLINE,
+    ) -> int:
         obs.inc("rpc.client.bytes_sent", len(payload))
         request_id = self._next_id
         self._next_id += 1
@@ -299,6 +523,7 @@ class RpcClient:
                 sender=self.name,
                 method=method,
                 payload=payload,
+                deadline_ms=deadline_ms,
             ),
         )
         return request_id
@@ -311,8 +536,18 @@ class RpcClient:
         return self._responses.pop(request_id, None)
 
     def abandon(self, request_id: int) -> None:
-        """Stop waiting for ``request_id``; a late reply is ignored."""
-        self._pending.discard(request_id)
+        """Stop waiting for ``request_id``; a late reply is ignored.
+
+        If the request is still pending its id is remembered (bounded)
+        so the eventual reply is counted and dropped, not retained —
+        the sweep that keeps ``_responses`` from growing forever under
+        timeout/hedge churn.
+        """
+        if request_id in self._pending:
+            self._pending.discard(request_id)
+            self._abandoned[request_id] = None
+            while len(self._abandoned) > self.ABANDONED_LIMIT:
+                self._abandoned.popitem(last=False)
         self._responses.pop(request_id, None)
 
     def resolve(
@@ -337,41 +572,64 @@ class RpcClient:
         argument: object = None,
         *,
         policy: RetryPolicy | None = None,
+        deadline_ms: float = NO_DEADLINE,
     ) -> object:
         """Call ``method`` on ``target``; returns the decoded result.
 
         Drives the bus (delivering everyone's traffic along the way)
         until the matching response arrives or the attempt's deadline
-        passes, retrying per the policy.  Raises
+        passes, retrying per the policy.  ``deadline_ms`` is an
+        absolute virtual-clock budget for the *whole* call: it rides in
+        the request (so the server can refuse doomed work), bounds each
+        attempt, and once spent no further attempt is even sent.
+        Raises
 
         * :class:`RpcTimeoutError` — no response after every attempt;
+        * :class:`DeadlineExceededError` — the deadline budget ran out
+          (locally or refused by the server);
         * :class:`ResponseIntegrityError` — a response arrived but its
           payload does not decode (corrupted in flight);
         * the mapped library error — the server reported a failure
           (e.g. a :class:`repro.errors.QueryError` re-raised locally).
         """
         policy = policy or self.policy
+        call_deadline = sanitize_deadline(deadline_ms)
         payload = wire.encode(argument)
         self.calls += 1
         obs.inc("rpc.client.calls")
         virtual_started = self.bus.clock_ms
         last_remote: ReproError | None = None
         for attempt in range(policy.max_attempts):
+            if call_deadline and self.bus.clock_ms >= call_deadline:
+                self.deadline_gaveups += 1
+                obs.inc("resilience.client.deadline_gaveups")
+                raise DeadlineExceededError(
+                    f"deadline for {method!r} on {target!r} expired after "
+                    f"{attempt} attempts"
+                ) from last_remote
             if attempt:
                 obs.inc("rpc.client.retries")
-            request_id = self._send(target, method, payload)
-            deadline = self.bus.clock_ms + policy.timeout_ms
+            attempt_started = self.bus.clock_ms
+            request_id = self._send(
+                target, method, payload, deadline_ms=call_deadline
+            )
+            deadline = attempt_started + self._attempt_timeout_ms(
+                target, policy
+            )
+            if call_deadline:
+                deadline = min(deadline, call_deadline)
             while request_id not in self._responses and self.bus.step(deadline):
                 pass
             response = self._responses.pop(request_id, None)
             if response is None:
-                self._pending.discard(request_id)
+                self.abandon(request_id)
                 self.bus.wait_until(deadline)
                 self.timeouts += 1
                 obs.inc("rpc.client.timeouts")
                 if attempt + 1 < policy.max_attempts:
-                    self.bus.run_for(policy.backoff_ms(attempt))
+                    self.bus.run_for(policy.backoff_ms(attempt, self._rng))
                 continue
+            self._track_latency(target, self.bus.clock_ms - attempt_started)
             if obs.enabled():
                 obs.inc("rpc.client.bytes_received", len(response.payload))
                 obs.observe(
@@ -387,7 +645,18 @@ class RpcClient:
                 if error.retryable and attempt + 1 < policy.max_attempts:
                     last_remote = error
                     obs.inc("rpc.client.remote_retries")
-                    self.bus.run_for(policy.backoff_ms(attempt))
+                    wait_ms = policy.backoff_ms(attempt, self._rng)
+                    if isinstance(error, OverloadedError):
+                        # Honor (clamped) server backpressure: never
+                        # retry an overloaded endpoint sooner than it
+                        # asked us to.
+                        hint = clamp_retry_after(error.retry_after_ms)
+                        if hint > wait_ms:
+                            wait_ms = hint
+                        if hint > 0.0:
+                            self.retry_after_waits += 1
+                            obs.inc("resilience.client.retry_after_waits")
+                    self.bus.run_for(wait_ms)
                     continue
                 raise error
             try:
@@ -397,6 +666,13 @@ class RpcClient:
                     f"response to {method!r} from {target!r} corrupted in "
                     f"flight: {exc}"
                 ) from exc
+        if call_deadline and self.bus.clock_ms >= call_deadline:
+            self.deadline_gaveups += 1
+            obs.inc("resilience.client.deadline_gaveups")
+            raise DeadlineExceededError(
+                f"deadline for {method!r} on {target!r} expired after "
+                f"{policy.max_attempts} attempts"
+            ) from last_remote
         if last_remote is not None:
             raise last_remote
         raise RpcTimeoutError(
@@ -420,4 +696,9 @@ class RpcClient:
                 f"undecodable error report from {response.sender!r}: {exc}"
             )
         exc_type = error_for_code(response.code)
-        return exc_type(f"{response.sender}: {message}")
+        error = exc_type(f"{response.sender}: {message}")
+        if isinstance(error, OverloadedError):
+            # The hint is untrusted wire data: clamp before anything
+            # downstream (backoff, breakers) can honor it.
+            error.retry_after_ms = clamp_retry_after(response.retry_after_ms)
+        return error

@@ -21,7 +21,7 @@ query answers against those certified roots.
   keyed by canonical request + certified root.
 """
 
-from repro.query.answercache import VerifiedAnswerCache
+from repro.query.answercache import StaleAnswer, VerifiedAnswerCache
 from repro.query.api import (
     AggregateQuery,
     HistoryQuery,
@@ -63,6 +63,7 @@ __all__ = [
     "QueryAnswer",
     "QueryRequest",
     "QueryService",
+    "StaleAnswer",
     "ValueRangeQuery",
     "verify",
     "BalanceAggregateIndexSpec",

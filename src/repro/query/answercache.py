@@ -21,6 +21,7 @@ warm-hit path doing zero RPC round trips.
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro import obs
@@ -31,6 +32,25 @@ from repro.query.api import QueryAnswer, QueryRequest
 CacheKey = tuple[bytes, bytes]
 
 
+@dataclass(frozen=True, slots=True)
+class StaleAnswer:
+    """A previously-verified answer served while the tier is shedding.
+
+    The graceful-degradation contract: the answer **did** pass
+    ``verify_answer`` — just against ``root`` (certified at ``height``),
+    not necessarily the current tip.  ``stale=True`` is the caller's
+    signal that freshness, not correctness, was sacrificed; a client
+    that cannot tolerate staleness simply does not opt in.
+    """
+
+    answer: QueryAnswer
+    #: The certified index root the answer verified against.
+    root: bytes
+    #: The chain height that root was certified at (-1 when unknown).
+    height: int = -1
+    stale: bool = True
+
+
 class VerifiedAnswerCache:
     """LRU cache of answers that passed verification at a known root."""
 
@@ -39,10 +59,19 @@ class VerifiedAnswerCache:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
         self._entries: OrderedDict[CacheKey, QueryAnswer] = OrderedDict()
+        #: Sidecar for graceful degradation, keyed by request bytes
+        #: alone: the most recent verified answer for each request,
+        #: *kept* when roots advance (that is its whole point) and
+        #: served only as an explicitly-flagged :class:`StaleAnswer`.
+        #: Strictly separate from ``_entries`` so the fresh path can
+        #: never accidentally serve under a superseded root.
+        self._stale: OrderedDict[bytes, StaleAnswer] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        self.stale_hits = 0
+        self.stale_misses = 0
 
     @staticmethod
     def key(request: QueryRequest, root: bytes) -> CacheKey:
@@ -64,9 +93,18 @@ class VerifiedAnswerCache:
         obs.inc("cache.answer.hits")
         return entry
 
-    def put(self, request: QueryRequest, root: bytes, answer: QueryAnswer) -> None:
+    def put(
+        self,
+        request: QueryRequest,
+        root: bytes,
+        answer: QueryAnswer,
+        *,
+        height: int = -1,
+    ) -> None:
         """Admit a **verified** answer.  Callers must only put answers
-        that passed ``verify_answer`` against exactly ``root``."""
+        that passed ``verify_answer`` against exactly ``root``;
+        ``height`` records what chain height that root was certified
+        at, so a degraded (stale) serve can report its age."""
         key = self.key(request, root)
         self._entries[key] = answer
         self._entries.move_to_end(key)
@@ -74,7 +112,31 @@ class VerifiedAnswerCache:
             self._entries.popitem(last=False)
             self.evictions += 1
             obs.inc("cache.answer.evictions")
+        stale_key = key[0]
+        self._stale[stale_key] = StaleAnswer(
+            answer=answer, root=bytes(root), height=height
+        )
+        self._stale.move_to_end(stale_key)
+        while len(self._stale) > self.capacity:
+            self._stale.popitem(last=False)
         obs.set_gauge("cache.answer.entries", len(self._entries))
+
+    def get_stale(self, request: QueryRequest) -> StaleAnswer | None:
+        """The last verified answer for ``request`` under *any* root.
+
+        The degraded path: only consulted when the serving tier is
+        shedding and the caller opted into stale answers.  Never
+        consulted by :meth:`get`, which remains root-exact.
+        """
+        entry = self._stale.get(wire.encode(request))
+        if entry is None:
+            self.stale_misses += 1
+            obs.inc("cache.answer.stale_misses")
+            return None
+        self._stale.move_to_end(wire.encode(request))
+        self.stale_hits += 1
+        obs.inc("cache.answer.stale_hits")
+        return entry
 
     def retain_roots(self, roots: Iterable[bytes]) -> int:
         """Drop entries verified under roots no longer certified.
@@ -82,7 +144,9 @@ class VerifiedAnswerCache:
         Call after a tip advance; returns how many entries were swept.
         (Correctness never depends on this — a stale entry can no
         longer be *looked up* once the root moved — it only bounds
-        memory and feeds the invalidation counter.)
+        memory and feeds the invalidation counter.)  The stale sidecar
+        is deliberately **not** swept: keeping the last verified answer
+        across root advances is what graceful degradation serves from.
         """
         keep = {bytes(root) for root in roots}
         stale = [key for key in self._entries if key[1] not in keep]
@@ -96,4 +160,5 @@ class VerifiedAnswerCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._stale.clear()
         obs.set_gauge("cache.answer.entries", 0)

@@ -60,6 +60,10 @@ class QueryServiceProvider:
         self.indexes = {
             spec.name: make_maintained_index(spec) for spec in index_specs
         }
+        #: Total typed queries actually processed.  The sim's shed
+        #: invariant compares this against the serving tier's handler
+        #: invocations to prove shed requests did zero provider work.
+        self.executes = 0
         self.baselines: dict[str, LineageChainIndex] = {}
         if with_lineagechain_baseline:
             for spec in index_specs:
@@ -87,6 +91,7 @@ class QueryServiceProvider:
         Raises :class:`QueryError` for an unknown index, an index of
         the wrong family, or an unrecognized request type.
         """
+        self.executes += 1
         with obs.trace_span("query.execute"):
             answer = self._execute(request)
         if obs.enabled():
@@ -175,11 +180,15 @@ class QueryService:
         provider: QueryServiceProvider,
         *,
         service_time_ms: float = 0.0,
+        admission=None,
     ) -> None:
         from repro.net.rpc import RpcServer
 
         self.provider = provider
-        self.server = RpcServer(bus, name)
+        # ``admission`` (an AdmissionPolicy) arms CoDel-style load
+        # shedding on the busy worker: excess queries are refused with
+        # OVERLOADED + retry_after before they ever reach the provider.
+        self.server = RpcServer(bus, name, admission=admission)
         # Only query execution occupies the modeled worker; root
         # lookups (used by gateway switch verification) are answered
         # immediately, like any metadata read.

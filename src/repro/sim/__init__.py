@@ -13,7 +13,13 @@ from .invariants import (
     InvariantSuite,
     InvariantViolation,
 )
-from .schedule import SIM_CRASH_POINTS, ScenarioSchedule, SimEvent, apply_event
+from .schedule import (
+    SIM_CRASH_POINTS,
+    WEIGHT_PROFILES,
+    ScenarioSchedule,
+    SimEvent,
+    apply_event,
+)
 from .shrink import (
     DEFAULT_EVENTS,
     DEFAULT_SEED,
@@ -40,6 +46,7 @@ __all__ = [
     "SimResult",
     "SimWorld",
     "SIM_CRASH_POINTS",
+    "WEIGHT_PROFILES",
     "apply_event",
     "knobs_from_env",
     "replay_command",

@@ -20,7 +20,16 @@ faults, not just inside one subsystem:
   the WAL rebuilds the exact same certificates;
 * **metrics-monotonic** — counters never decrease;
 * **hub-stream-bounded** — the hub never announces beyond what the
-  issuer certified.
+  issuer certified;
+* **deadline-honored** — no admitted request misses its propagated
+  deadline by more than one service quantum (a replica that cannot
+  finish in budget must refuse at admission, not serve late);
+* **shed-zero-work** — shed and deadline-refused requests do zero
+  provider work: typed queries the provider actually executed equals
+  exactly the queries the serving tier admitted;
+* **client-rpc-bounded** — every RPC client's response and abandoned-id
+  books stay within their hard caps (no unbounded growth under floods,
+  timeouts, or churn).
 
 A violation raises :class:`InvariantViolation` carrying the event index
 so the runner can shrink to the smallest failing prefix and print a
@@ -74,6 +83,9 @@ class InvariantSuite:
             ("wal-consistent", self._check_certificates),
             ("metrics-monotonic", self._check_counters),
             ("hub-stream-bounded", self._check_hub),
+            ("deadline-honored", self._check_deadlines),
+            ("shed-zero-work", self._check_shedding),
+            ("client-rpc-bounded", self._check_rpc_bounds),
         ]
         if canary is not None:
             self.checkers.append((canary, CANARIES[canary][1](self)))
@@ -235,6 +247,54 @@ class InvariantSuite:
             f"hub announced seq {world.hub.seq} beyond the "
             f"{len(world.issuer.certified)} certified blocks"
         )
+
+    def _check_deadlines(self) -> None:
+        """Admission is the only place lateness is allowed to appear:
+        once a deadline-carrying request is admitted, the busy-worker
+        model must finish it within budget (plus one service quantum of
+        slack).  A nonzero violation counter means a replica accepted
+        work it was doomed to serve late."""
+        for name, replica in self.world.replicas.items():
+            late = replica.server.deadline_violations
+            assert late == 0, (
+                f"replica {name} finished {late} admitted request(s) past "
+                "their propagated deadline"
+            )
+
+    def _check_shedding(self) -> None:
+        """Shed and deadline-refused requests must cost the provider
+        nothing: the provider's typed-query executions track the
+        serving tier's admitted ``execute`` invocations exactly."""
+        admitted = sum(
+            replica.server.invocations.get("execute", 0)
+            for replica in self.world.replicas.values()
+        )
+        executed = self.world.provider.executes
+        assert executed == admitted, (
+            f"provider executed {executed} queries but the serving tier "
+            f"admitted {admitted} — refused requests did provider work"
+        )
+
+    def _check_rpc_bounds(self) -> None:
+        """No RPC book grows without bound: stored responses and
+        abandoned-id sets stay within their class-level caps, across
+        floods, abandons, timeouts, and client churn."""
+        books = [("miner", self.world.miner), ("loadgen", self.world.load)]
+        for entry in self.world.fleet:
+            books.append((entry.name, entry.client.rpc))
+            if entry.gateway is not None:
+                books.append((f"{entry.name}.gateway", entry.gateway.rpc))
+        for name, rpc in books:
+            held = len(rpc._responses)
+            assert held <= rpc.RESPONSES_LIMIT, (
+                f"{name} holds {held} stored responses "
+                f"(cap {rpc.RESPONSES_LIMIT})"
+            )
+            abandoned = len(rpc._abandoned)
+            assert abandoned <= rpc.ABANDONED_LIMIT, (
+                f"{name} tracks {abandoned} abandoned ids "
+                f"(cap {rpc.ABANDONED_LIMIT})"
+            )
 
 
 # -- canaries ----------------------------------------------------------------

@@ -23,7 +23,7 @@ from repro.errors import ReproError
 from repro.fault.crashpoints import crash_armed
 from repro.net import LinkFaults
 from repro.net.wire import encode
-from repro.query import HistoryQuery, KeywordQuery
+from repro.query import HistoryQuery, KeywordQuery, StaleAnswer
 
 from .world import KIND_GATEWAY, KIND_PUSH, SimWorld
 
@@ -67,7 +67,34 @@ EVENT_WEIGHTS = (
     ("pause_replica", 2),
     ("resume_replicas", 3),
     ("hub_remount", 2),
+    ("overload", 3),
+    ("burst", 3),
+    ("slow_replica", 2),
 )
+
+#: The saturation-heavy mix: mostly queries, bursts, deadline-bounded
+#: batches, and slow replicas, with just enough mine/certify/heal to
+#: keep the chain moving.  Selected with ``profile="overload"``.
+OVERLOAD_WEIGHTS = (
+    ("mine", 4),
+    ("certify", 6),
+    ("query", 14),
+    ("query_many", 6),
+    ("sync", 4),
+    ("drain", 6),
+    ("heal", 2),
+    ("pause_replica", 1),
+    ("resume_replicas", 4),
+    ("overload", 12),
+    ("burst", 12),
+    ("slow_replica", 6),
+)
+
+#: Named event mixes ``ScenarioSchedule.generate`` can draw from.
+WEIGHT_PROFILES = {
+    "mixed": EVENT_WEIGHTS,
+    "overload": OVERLOAD_WEIGHTS,
+}
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,10 +117,18 @@ class ScenarioSchedule:
         self.events = events
 
     @classmethod
-    def generate(cls, seed: int, count: int) -> "ScenarioSchedule":
+    def generate(
+        cls, seed: int, count: int, profile: str = "mixed"
+    ) -> "ScenarioSchedule":
+        table = WEIGHT_PROFILES.get(profile)
+        if table is None:
+            raise ReproError(
+                f"unknown schedule profile {profile!r}; "
+                f"available: {', '.join(sorted(WEIGHT_PROFILES))}"
+            )
         rng = random.Random(seed)
-        kinds = [kind for kind, _ in EVENT_WEIGHTS]
-        weights = [weight for _, weight in EVENT_WEIGHTS]
+        kinds = [kind for kind, _ in table]
+        weights = [weight for _, weight in table]
         events = tuple(
             _draw_event(rng, rng.choices(kinds, weights=weights)[0])
             for _ in range(count)
@@ -142,6 +177,20 @@ def _draw_event(rng: random.Random, kind: str) -> SimEvent:
         params = {"slot": rng.randrange(1024), "peer": rng.randrange(1024)}
     elif kind == "pause_replica":
         params = {"idx": rng.randrange(1024)}
+    elif kind == "overload":
+        params = {
+            "slot": rng.randrange(1024),
+            "count": rng.randint(6, 12),
+            "budget": round(rng.uniform(60.0, 400.0), 3),
+        }
+    elif kind == "burst":
+        params = {
+            "idx": rng.randrange(1024),
+            "count": rng.randint(16, 40),
+            "account": rng.randrange(64),
+        }
+    elif kind == "slow_replica":
+        params = {"idx": rng.randrange(1024), "factor": rng.randint(2, 5)}
     # heal / resume_replicas / hub_remount take no parameters
     return SimEvent(kind=kind, params=params)
 
@@ -209,6 +258,12 @@ def _ev_query(world: SimWorld, p: dict) -> str:
         answer = entry.client.query(request)
     except ReproError as exc:
         return f"{entry.name} fail:{type(exc).__name__}"
+    if isinstance(answer, StaleAnswer):
+        # Graceful degradation: a previously-verified answer under an
+        # older root.  Not recorded for the oracle-identity check — the
+        # oracle executes at the *current* tip, and staleness is the
+        # whole point of the fallback.
+        return f"{entry.name} stale:h{answer.height}"
     world.record_answer(request, answer)
     return f"{entry.name} ans:{_digest(encode(answer))}"
 
@@ -341,14 +396,77 @@ def _ev_resume_replicas(world: SimWorld, _p: dict) -> str:
     for name in sorted(world.paused_replicas):
         world.replicas[name].server.paused = False
     world.paused_replicas.clear()
+    restored = world.restore_replica_speeds()
     if resumed:
         world.bus.run_for(500.0)  # let gateway probes readmit them
-    return f"replicas={resumed}"
+    return f"replicas={resumed} slowed={restored}"
 
 
 def _ev_hub_remount(world: SimWorld, _p: dict) -> str:
     hub = world.remount_hub()
     return f"seq={hub.seq}"
+
+
+def _ev_overload(world: SimWorld, p: dict) -> str:
+    """A deadline-bounded batch through a gateway client: the whole
+    resilience stack at once — deadline propagation (budget shrinks per
+    hop, doomed work refused), shedding with failover, hedging, and —
+    when the tier saturates entirely — graceful stale degradation."""
+    entry = world.pick(p["slot"], kind=KIND_GATEWAY)
+    if entry is None:
+        return "noop"
+    world.sync_serving_tier()
+    try:
+        entry.client.sync()
+    except ReproError as exc:
+        return f"{entry.name} sync-fail:{type(exc).__name__}"
+    height = entry.client.latest_header.height
+    requests = [
+        HistoryQuery(
+            index="history",
+            account=f"acct{(p['slot'] + i) % world.config.accounts}",
+            t_from=1, t_to=height,
+        )
+        for i in range(p["count"])
+    ]
+    deadline = world.bus.clock_ms + p["budget"]
+    try:
+        answers = entry.client.query_many(requests, deadline_ms=deadline)
+    except ReproError as exc:
+        return f"{entry.name} fail:{type(exc).__name__}"
+    for request, answer in zip(requests, answers):
+        world.record_answer(request, answer)
+    joined = b"".join(encode(answer) for answer in answers)
+    return f"{entry.name} x{len(answers)}:{_digest(joined)}"
+
+
+def _ev_burst(world: SimWorld, p: dict) -> str:
+    """An open-loop flood straight at one replica: the load generator
+    begin()s without waiting for responses, so the busy worker's queue
+    delay climbs until admission control sheds.  Every request is then
+    abandoned; late responses exercise the client's bounded sweep."""
+    name = world.replica_names[p["idx"] % len(world.replica_names)]
+    server = world.replicas[name].server
+    request = HistoryQuery(
+        index="history",
+        account=f"acct{p['account'] % world.config.accounts}",
+        t_from=1, t_to=max(1, world.provider.node.height),
+    )
+    shed_before = server.requests_shed
+    pending = [
+        world.load.begin(name, "execute", request) for _ in range(p["count"])
+    ]
+    world.bus.run_until_idle()
+    for request_id in pending:
+        world.load.abandon(request_id)
+    shed = server.requests_shed - shed_before
+    return f"{name} n={p['count']} shed={shed}"
+
+
+def _ev_slow_replica(world: SimWorld, p: dict) -> str:
+    name = world.replica_names[p["idx"] % len(world.replica_names)]
+    world.slow_replica(name, float(p["factor"]))
+    return f"{name} x{p['factor']}"
 
 
 _HANDLERS = {
@@ -368,4 +486,7 @@ _HANDLERS = {
     "pause_replica": _ev_pause_replica,
     "resume_replicas": _ev_resume_replicas,
     "hub_remount": _ev_hub_remount,
+    "overload": _ev_overload,
+    "burst": _ev_burst,
+    "slow_replica": _ev_slow_replica,
 }

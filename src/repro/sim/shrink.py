@@ -20,7 +20,9 @@ Env knobs (all optional):
 * ``REPRO_SIM_EVENTS`` — schedule length (default 60);
 * ``REPRO_SIM_REPLAY=seed:events`` — rerun exactly one case;
 * ``REPRO_SIM_CANARY`` — arm a deliberately-wrong invariant from
-  :data:`repro.sim.invariants.CANARIES`.
+  :data:`repro.sim.invariants.CANARIES`;
+* ``REPRO_SIM_PROFILE`` — event mix (``mixed``/``overload``, see
+  :data:`repro.sim.schedule.WEIGHT_PROFILES`).
 """
 
 from __future__ import annotations
@@ -52,6 +54,7 @@ class SimResult:
     violation: InvariantViolation | None
     log: tuple[str, ...]
     canary: str | None = None
+    profile: str = "mixed"
 
     @property
     def ok(self) -> bool:
@@ -63,6 +66,7 @@ def run_sim(
     events: int,
     config: SimConfig | None = None,
     canary: str | None = None,
+    profile: str = "mixed",
 ) -> SimResult:
     """One full deterministic run; never raises on a violation — the
     outcome (including the violation) is the result."""
@@ -76,7 +80,9 @@ def run_sim(
                 world = SimWorld.build(config, Path(tmp))
                 obs.set_virtual_clock(lambda: world.bus.clock_ms)
                 try:
-                    schedule = ScenarioSchedule.generate(seed, events)
+                    schedule = ScenarioSchedule.generate(
+                        seed, events, profile=profile
+                    )
                     suite = InvariantSuite(world, canary=canary)
                     try:
                         for index, event in enumerate(schedule.events):
@@ -95,15 +101,22 @@ def run_sim(
                 return SimResult(
                     seed=seed, events=events, events_applied=applied,
                     fingerprint=world.fingerprint(), violation=violation,
-                    log=tuple(world.events), canary=canary,
+                    log=tuple(world.events), canary=canary, profile=profile,
                 )
 
 
-def replay_command(seed: int, events: int, canary: str | None = None) -> str:
+def replay_command(
+    seed: int,
+    events: int,
+    canary: str | None = None,
+    profile: str = "mixed",
+) -> str:
     """The copy-paste one-liner that reruns exactly this case."""
     parts = [f"REPRO_SIM_REPLAY={seed}:{events}"]
     if canary is not None:
         parts.append(f"REPRO_SIM_CANARY={canary}")
+    if profile != "mixed":
+        parts.append(f"REPRO_SIM_PROFILE={profile}")
     parts.append(
         "PYTHONPATH=src python -m pytest "
         "tests/sim/test_sim_workloads.py::test_replay -q"
@@ -117,6 +130,7 @@ def shrink_prefix(
     config: SimConfig | None = None,
     canary: str | None = None,
     first_failure: int | None = None,
+    profile: str = "mixed",
 ) -> int:
     """Smallest event-prefix length that still violates, by bisection.
 
@@ -133,7 +147,8 @@ def shrink_prefix(
     # pass.  Bisect the boundary.
     while lo < hi:
         mid = (lo + hi) // 2
-        probe = run_sim(seed, mid, config=config, canary=canary)
+        probe = run_sim(seed, mid, config=config, canary=canary,
+                        profile=profile)
         if probe.violation is not None:
             hi = mid
         else:
@@ -146,31 +161,37 @@ def run_and_shrink(
     events: int,
     config: SimConfig | None = None,
     canary: str | None = None,
+    profile: str = "mixed",
 ) -> SimResult:
     """Run; on violation, shrink to the minimal prefix and raise an
     ``AssertionError`` carrying the replay command (proptest-style)."""
-    result = run_sim(seed, events, config=config, canary=canary)
+    result = run_sim(seed, events, config=config, canary=canary,
+                     profile=profile)
     if result.violation is None:
         return result
     first = result.violation.event_index
     shrunk = shrink_prefix(
         seed, events, config=config, canary=canary,
         first_failure=None if first >= events else first,
+        profile=profile,
     )
-    shrunk_result = run_sim(seed, shrunk, config=config, canary=canary)
+    shrunk_result = run_sim(seed, shrunk, config=config, canary=canary,
+                            profile=profile)
     tail = "\n".join(shrunk_result.log[-6:])
     raise AssertionError(
         f"sim invariant violation (seed={seed}, events={events}):\n"
         f"  {result.violation}\n"
         f"shrunk to the {shrunk}-event prefix "
         f"({shrunk_result.violation or 'violates only with more events'})\n"
-        f"replay: {replay_command(seed, shrunk, canary)}\n"
+        f"replay: {replay_command(seed, shrunk, canary, profile)}\n"
         f"last events of the shrunk run:\n{tail}"
     )
 
 
-def knobs_from_env(environ: dict | None = None) -> tuple[int, int, str | None]:
-    """Resolve (seed, events, canary) from the ``REPRO_SIM_*`` knobs."""
+def knobs_from_env(
+    environ: dict | None = None,
+) -> tuple[int, int, str | None, str]:
+    """Resolve (seed, events, canary, profile) from ``REPRO_SIM_*``."""
     env = os.environ if environ is None else environ
     seed = int(env.get("REPRO_SIM_SEED", DEFAULT_SEED))
     events = int(env.get("REPRO_SIM_EVENTS", DEFAULT_EVENTS))
@@ -181,4 +202,5 @@ def knobs_from_env(environ: dict | None = None) -> tuple[int, int, str | None]:
         if raw_events:
             events = int(raw_events)
     canary = env.get("REPRO_SIM_CANARY") or None
-    return seed, events, canary
+    profile = env.get("REPRO_SIM_PROFILE", "mixed")
+    return seed, events, canary, profile

@@ -39,8 +39,11 @@ from repro.core.recovery import DurableIssuer, recover_issuer
 from repro.crypto import generate_keypair
 from repro.errors import ReproError
 from repro.net import (
+    AdmissionPolicy,
+    CircuitBreakerPolicy,
     FaultInjector,
     HealthPolicy,
+    HedgePolicy,
     IssuerSupervisor,
     MessageBus,
     QueryGateway,
@@ -83,6 +86,11 @@ class SimConfig:
     checkpoint_interval: int = 4
     service_time_ms: float = 2.0
     latency_ms: float = 5.0
+    #: Queue-delay threshold (ms) past which an admission-armed replica
+    #: sheds with OVERLOADED + retry_after instead of queueing doomed
+    #: work.  Low enough that the ``burst`` event reliably trips it.
+    shed_delay_ms: float = 25.0
+    admission_queue_limit: int = 32
 
     def fleet_size(self) -> int:
         return self.pollers + self.gateway_clients + self.subscribers
@@ -119,12 +127,14 @@ class SimWorld:
     platform: SGXPlatform
     specs: list
     miner: RpcClient
+    load: RpcClient
     user: object
     fleet: list[SimClient] = field(default_factory=list)
     events: list[str] = field(default_factory=list)
     answers: list[tuple[object, object]] = field(default_factory=list)
     faulted_links: set[tuple[str, str]] = field(default_factory=set)
     paused_replicas: set[str] = field(default_factory=set)
+    slowed_replicas: dict[str, float] = field(default_factory=dict)
     nonce: int = 0
     spawned: int = 0
     recoveries: int = 0
@@ -171,9 +181,15 @@ class SimWorld:
             or_genesis, or_state, _fresh_vm(), builder.pow, specs
         )
         replica_names = [f"sp{i + 1}" for i in range(config.replicas)]
+        admission = AdmissionPolicy(
+            shed_delay_ms=config.shed_delay_ms,
+            queue_limit=config.admission_queue_limit,
+        )
         replicas = {
             name: QueryService(
-                bus, name, provider, service_time_ms=config.service_time_ms
+                bus, name, provider,
+                service_time_ms=config.service_time_ms,
+                admission=admission,
             )
             for name in replica_names
         }
@@ -188,6 +204,13 @@ class SimWorld:
                 timeout_ms=400.0, max_attempts=6, backoff_base_ms=30.0
             ),
         )
+        # A fire-and-forget flood source for the ``burst`` overload
+        # event: it begin()s without waiting, so replica queues actually
+        # build up and admission control has something to shed.
+        load = RpcClient(
+            bus, "loadgen",
+            policy=RetryPolicy(timeout_ms=400.0, max_attempts=1),
+        )
 
         world = cls(
             config=config, builder=builder, bus=bus, injector=injector,
@@ -195,7 +218,7 @@ class SimWorld:
             supervisor=None,  # set below; restore() closes over the world
             hub=hub, provider=provider, oracle=oracle, replicas=replicas,
             measurement=measurement, ias=ias, platform=platform,
-            specs=specs, miner=miner, user=user,
+            specs=specs, miner=miner, load=load, user=user,
         )
 
         def restore():
@@ -296,8 +319,12 @@ class SimWorld:
         best-effort (the deployment may be degraded mid-run)."""
         self.spawned += 1
         name = f"{kind}{self.spawned}"
+        # Jittered backoff desynchronizes the fleet's retry waves; each
+        # client's RNG is seeded from its (unique) name, so the jitter
+        # is deterministic per run.
         policy = RetryPolicy(
-            timeout_ms=300.0, max_attempts=3, backoff_base_ms=25.0
+            timeout_ms=300.0, max_attempts=3, backoff_base_ms=25.0,
+            jitter=0.1,
         )
         gateway = None
         kwargs = dict(
@@ -309,10 +336,14 @@ class SimWorld:
             gateway = QueryGateway(
                 self.bus, f"gwy{self.spawned}", list(self.replica_names),
                 balancer="round-robin", seed=self.spawned,
-                policy=RetryPolicy(timeout_ms=400.0, max_attempts=2),
+                policy=RetryPolicy(
+                    timeout_ms=400.0, max_attempts=2, jitter=0.1
+                ),
                 health=HealthPolicy(failure_threshold=2, probe_base_ms=200.0),
+                breaker=CircuitBreakerPolicy(),
+                hedge=HedgePolicy(),
             )
-            kwargs.update(gateway=gateway)
+            kwargs.update(gateway=gateway, degrade_to_stale=True)
         else:
             kwargs.update(providers=self.replica_names)
         if kind == KIND_PUSH:
@@ -344,6 +375,25 @@ class SimWorld:
                 pass  # the lease reaper collects it eventually
         fresh = self.spawn_client(old.kind)
         return old.name, fresh.name
+
+    def slow_replica(self, name: str, factor: float) -> float:
+        """Multiply ``name``'s execute service time by ``factor`` (from
+        its original speed — repeated slowdowns do not compound); the
+        base speed is remembered for :meth:`restore_replica_speeds`."""
+        server = self.replicas[name].server
+        base = self.slowed_replicas.setdefault(
+            name, server._service_times.get("execute", server.service_time_ms)
+        )
+        server._service_times["execute"] = base * factor
+        return base
+
+    def restore_replica_speeds(self) -> int:
+        """Undo every :meth:`slow_replica`; returns how many were slow."""
+        restored = len(self.slowed_replicas)
+        for name, base in sorted(self.slowed_replicas.items()):
+            self.replicas[name].server._service_times["execute"] = base
+        self.slowed_replicas.clear()
+        return restored
 
     def pick(self, slot: int, kind: str | None = None) -> SimClient | None:
         pool = [

@@ -82,6 +82,56 @@ def test_capacity_must_be_positive():
         VerifiedAnswerCache(capacity=0)
 
 
+# -- the stale sidecar (graceful degradation) --------------------------------
+
+
+def test_stale_sidecar_survives_root_advance():
+    cache = VerifiedAnswerCache(capacity=4)
+    cache.put(req(0), ROOT, ans(0), height=7)
+    assert cache.retain_roots([OTHER]) == 1  # fresh entry swept...
+    assert cache.get(req(0), ROOT) is None
+    stale = cache.get_stale(req(0))  # ...the sidecar remembers
+    assert stale is not None and stale.stale is True
+    assert stale.answer == ans(0)
+    assert stale.root == ROOT and stale.height == 7
+    assert (cache.stale_hits, cache.stale_misses) == (1, 0)
+
+
+def test_stale_sidecar_tracks_the_newest_verified_answer():
+    cache = VerifiedAnswerCache(capacity=4)
+    cache.put(req(0), ROOT, ans(0), height=7)
+    newer = QueryAnswer(request=req(0), payload=99)
+    cache.put(req(0), OTHER, newer, height=8)
+    stale = cache.get_stale(req(0))
+    assert stale.answer == newer and stale.height == 8
+
+
+def test_stale_sidecar_is_never_consulted_by_the_fresh_path():
+    cache = VerifiedAnswerCache(capacity=4)
+    cache.put(req(0), ROOT, ans(0))
+    cache.retain_roots([OTHER])
+    # Root-exact lookups stay misses even though the sidecar has it.
+    assert cache.get(req(0), ROOT) is None
+    assert cache.get(req(0), OTHER) is None
+
+
+def test_stale_sidecar_miss_is_counted():
+    cache = VerifiedAnswerCache(capacity=4)
+    assert cache.get_stale(req(0)) is None
+    assert cache.stale_misses == 1
+
+
+def test_stale_sidecar_is_lru_bounded_and_cleared():
+    cache = VerifiedAnswerCache(capacity=2)
+    for i in range(4):
+        cache.put(req(i), ROOT, ans(i))
+    assert len(cache._stale) == 2
+    assert cache.get_stale(req(0)) is None  # evicted with the LRU
+    assert cache.get_stale(req(3)) is not None
+    cache.clear()
+    assert cache.get_stale(req(3)) is None
+
+
 # -- the byte-identity property ---------------------------------------------
 
 
@@ -142,3 +192,70 @@ def test_warm_hits_do_zero_rpc_round_trips(fleet):
     answer = client.query(request)
     assert isinstance(answer, QueryAnswer)
     assert client.rpc.calls + fleet["gateway"].rpc.calls == calls_before
+
+
+# -- graceful degradation through the client ---------------------------------
+
+
+def test_client_degrades_to_stale_when_the_tier_is_unreachable(certified_setup):
+    """With ``degrade_to_stale=True``, a total serving-tier outage after
+    one verified answer yields that answer back, explicitly flagged
+    stale, instead of an error — and a client that never opted in still
+    raises."""
+    from repro.errors import ServiceUnavailableError
+    from repro.net.faults import FaultInjector, LinkFaults
+    from repro.query.answercache import StaleAnswer
+
+    chain = certified_setup["chain"]
+    genesis, state = make_genesis()
+    provider = QueryServiceProvider(
+        genesis, state, fresh_vm(), chain.pow,
+        list(certified_setup["specs"].values()),
+    )
+    for block in chain.blocks[1:]:
+        provider.ingest_block(block)
+    bus = MessageBus(default_latency_ms=10.0)
+    IssuerService(bus, "ci", certified_setup["issuer"])
+    QueryService(bus, "sp1", provider)
+    gateway = QueryGateway(
+        bus, "gw", ["sp1"],
+        policy=RetryPolicy(timeout_ms=120.0, max_attempts=1),
+        health=HealthPolicy(failure_threshold=2),
+    )
+    measurement = compute_expected_measurement(
+        certified_setup["genesis"].header.header_hash(),
+        certified_setup["ias"].public_key,
+        fresh_vm(),
+        chain.pow.difficulty_bits,
+        certified_setup["specs"],
+    )
+    client = connect(ClientConfig(
+        measurement=measurement,
+        ias_public_key=certified_setup["ias"].public_key,
+        bus=bus, name="client",
+        issuers=("ci",), gateway=gateway,
+        degrade_to_stale=True,
+    ))
+    client.bootstrap()
+    request = req(0)
+    fresh = client.query(request)
+    assert isinstance(fresh, QueryAnswer)
+
+    injector = FaultInjector(seed=9)
+    injector.set_link("gw", "sp1", LinkFaults(drop_rate=1.0))
+    bus.install_faults(injector)
+    # The fresh cache would still hit at the current root; a *new*
+    # request shape has nothing cached and must reach the dead tier.
+    # The warmed request only degrades once its root-keyed entry is
+    # gone, so drop it to model a tip advance sweeping the cache.
+    client.cache.retain_roots([])
+    degraded = client.query(request)
+    assert isinstance(degraded, StaleAnswer)
+    assert degraded.stale is True
+    assert wire.encode(degraded.answer) == wire.encode(fresh)
+    assert client.stale_served == 1
+
+    # Nothing verified on hand for an unseen request: the error
+    # propagates even with degradation enabled.
+    with pytest.raises(ServiceUnavailableError):
+        client.query(req(3))

@@ -6,7 +6,9 @@ Deterministic by default (fixed seed, small schedule).  The knobs:
 * ``REPRO_SIM_EVENTS=n`` — deepen the run (``make sim`` uses 500+);
 * ``REPRO_SIM_REPLAY=seed:events`` — rerun exactly one case through
   :func:`test_replay` (failures print this command);
-* ``REPRO_SIM_CANARY=name`` — arm a deliberately-broken invariant.
+* ``REPRO_SIM_CANARY=name`` — arm a deliberately-broken invariant;
+* ``REPRO_SIM_PROFILE=name`` — pick the event mix (``mixed`` default,
+  ``overload`` for the saturation-heavy schedule).
 """
 
 import os
@@ -28,8 +30,8 @@ def test_mixed_workload_passes_invariants():
     """The headline run: a seeded mix of workload and fault events over
     the whole deployment, every global invariant checked after every
     event, shrink + replay command on any violation."""
-    seed, events, canary = knobs_from_env()
-    result = run_and_shrink(seed, events, canary=canary)
+    seed, events, canary, profile = knobs_from_env()
+    result = run_and_shrink(seed, events, canary=canary, profile=profile)
     assert result.events_applied == events
     assert len(result.fingerprint) == 64
 
@@ -40,8 +42,8 @@ def test_replay():
     with the violation and the tail of the event log."""
     if not os.environ.get("REPRO_SIM_REPLAY"):
         pytest.skip("set REPRO_SIM_REPLAY=seed:events to replay one case")
-    seed, events, canary = knobs_from_env()
-    result = run_sim(seed, events, canary=canary)
+    seed, events, canary, profile = knobs_from_env()
+    result = run_sim(seed, events, canary=canary, profile=profile)
     assert result.violation is None, (
         f"{result.violation}\nlast events:\n" + "\n".join(result.log[-8:])
     )

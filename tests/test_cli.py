@@ -1,4 +1,4 @@
-"""The CLI: info, selftest, demo, demo-network, demo-crash, metrics."""
+"""The CLI: info, selftest, demos (incl. demo-overload), sim, metrics."""
 
 import json
 
@@ -41,6 +41,20 @@ def test_demo_crash(capsys):
     assert "supervisor restarts: 1" in out
     assert "pk_enc stable across restart (sealed key): True" in out
     assert "(no re-attestation)" in out
+
+
+def test_demo_overload(capsys):
+    assert main(["demo-overload"]) == 0
+    out = capsys.readouterr().out
+    # [1] deadline propagation refuses doomed work at the replica.
+    assert "provider executions: 0 (doomed work costs zero)" in out
+    assert "deadline refusals: 1" in out
+    # [3] admission control sheds and the client degrades gracefully.
+    assert "shed" in out and "OVERLOADED" in out
+    assert "served the last verified answer flagged stale=True" in out
+    # [4] the gateway hedges around the slow replica.
+    assert "won by the fast replica" in out
+    assert "Totals" in out
 
 
 def test_demo_crash_rejects_unknown_point(capsys):
@@ -88,6 +102,24 @@ def test_sim_clean_run(capsys):
     out = capsys.readouterr().out
     assert "event-log fingerprint:" in out
     assert "all invariants held" in out
+
+
+def test_sim_overload_profile_runs_and_is_reproducible(capsys):
+    assert main(["sim", "--events", "30", "--seed", "3",
+                 "--profile", "overload"]) == 0
+    first = capsys.readouterr().out
+    assert "profile overload" in first
+    assert "all invariants held" in first
+    assert main(["sim", "--events", "30", "--seed", "3",
+                 "--profile", "overload"]) == 0
+    second = capsys.readouterr().out
+    # Same seed, same profile: byte-identical fingerprints.
+    fingerprint = [
+        line for line in first.splitlines() if "fingerprint" in line
+    ]
+    assert fingerprint and fingerprint == [
+        line for line in second.splitlines() if "fingerprint" in line
+    ]
 
 
 def test_sim_canary_violation_prints_replay(capsys):
