@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench lint selftest check metrics proptest chaos fleet-bench fleet-smoke push-bench push-smoke overload-bench overload-smoke sim sim-smoke determinism
+.PHONY: test bench lint analyze selftest check metrics proptest chaos fleet-bench fleet-smoke push-bench push-smoke overload-bench overload-smoke sim sim-smoke determinism
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -43,7 +43,7 @@ sim-smoke:
 determinism:
 	bash scripts/check_determinism.sh
 
-check: lint test chaos sim-smoke determinism fleet-smoke push-smoke overload-smoke
+check: lint analyze test chaos sim-smoke determinism fleet-smoke push-smoke overload-smoke
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -84,6 +84,16 @@ overload-smoke:
 
 lint:
 	bash scripts/lint.sh
+
+# Dependency-free AST invariant linter (src/repro/analysis): wall-clock
+# and randomness hygiene (DET01/DET02), verification-before-adoption
+# (VER01), error-taxonomy registration (ERR01), bounded client/network
+# state (BND01), wire-message round-trip coverage (WIRE01), metric
+# naming (OBS01), crash-catalog sync (CAT01).  Fails on any finding
+# not in analysis-baseline.json (kept empty) and on stale baseline
+# entries.  See docs/analysis.md.
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis
 
 selftest:
 	PYTHONPATH=src $(PYTHON) -m repro selftest

@@ -25,14 +25,31 @@ run() {
         --seed "$SEED" --events "$EVENTS" --profile "$2" --verbose > "$1"
 }
 
+# On divergence: fail loudly with the exact (seed, events, profile)
+# triple, a bounded diff excerpt (the first divergent lines are the
+# interesting ones; a full 1000-line dump buries them), and the replay
+# command that reproduces one run for bisection.
+DIFF_EXCERPT_LINES=40
+
 for profile in mixed overload; do
     echo "sim determinism: seed=$SEED events=$EVENTS profile=$profile (run 1/2)..."
     run "$workdir/first.log" "$profile"
     echo "sim determinism: seed=$SEED events=$EVENTS profile=$profile (run 2/2)..."
     run "$workdir/second.log" "$profile"
 
-    if ! diff -u "$workdir/first.log" "$workdir/second.log"; then
-        echo "DETERMINISM FAILURE: the same seed produced different event logs"
+    if ! diff -u "$workdir/first.log" "$workdir/second.log" > "$workdir/diff.log"; then
+        echo "================================================================"
+        echo "DETERMINISM FAILURE: same seed, different event logs"
+        echo "  seed=$SEED events=$EVENTS profile=$profile"
+        echo "================================================================"
+        echo "first $DIFF_EXCERPT_LINES lines of the divergence:"
+        head -n "$DIFF_EXCERPT_LINES" "$workdir/diff.log"
+        total=$(wc -l < "$workdir/diff.log")
+        if [ "$total" -gt "$DIFF_EXCERPT_LINES" ]; then
+            echo "... ($((total - DIFF_EXCERPT_LINES)) more diff lines suppressed)"
+        fi
+        echo "replay one run with:"
+        echo "  PYTHONPATH=src $PYTHON -m repro sim --seed $SEED --events $EVENTS --profile $profile --verbose"
         exit 1
     fi
 

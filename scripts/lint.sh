@@ -8,9 +8,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if command -v ruff >/dev/null 2>&1; then
-    exec ruff check src tests benchmarks examples
+    ruff check src tests benchmarks examples
 elif python -m ruff --version >/dev/null 2>&1; then
-    exec python -m ruff check src tests benchmarks examples
+    python -m ruff check src tests benchmarks examples
 else
     echo "lint: ruff is not installed; skipping (config in pyproject.toml)"
 fi
+
+# The repo's own AST invariant linter has no dependencies, so it always
+# runs (rule catalog in docs/analysis.md).
+PYTHONPATH=src python -m repro.analysis

@@ -1,0 +1,91 @@
+"""The accepted-findings baseline.
+
+CI must fail loudly on *new* findings without demanding that every
+pre-existing accepted finding be fixed in the same commit.  The
+baseline file (``analysis-baseline.json``, checked in at the repo
+root) records accepted findings by line-number-free fingerprint (see
+:meth:`repro.analysis.findings.Finding.fingerprint`), so moving code
+around does not churn it but changing a message or fixing the site
+does.
+
+The contract ``make analyze`` enforces:
+
+* a finding **not** in the baseline fails the run;
+* a baseline entry that no longer matches anything is reported as
+  *stale* and fails the run too (the baseline may only shrink by being
+  edited, never rot silently);
+* ``--update-baseline`` rewrites the file from the current findings —
+  reviewers then see every newly-accepted finding in the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+@dataclass
+class BaselineDiff:
+    """Findings split against a baseline."""
+
+    new: list[Finding]
+    accepted: list[Finding]
+    stale: list[dict]
+
+
+def load(path: Path) -> list[dict]:
+    """Baseline entries (empty when the file is absent)."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("findings", []) if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise ValueError(f"malformed baseline file {path}")
+    return entries
+
+
+def save(path: Path, findings: list[Finding]) -> None:
+    entries = [
+        {
+            "fingerprint": finding.fingerprint(),
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+        }
+        for finding in sorted(
+            findings, key=lambda f: (f.path, f.rule, f.message)
+        )
+    ]
+    path.write_text(
+        json.dumps({"findings": entries}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def diff(findings: list[Finding], entries: list[dict]) -> BaselineDiff:
+    known = {
+        entry.get("fingerprint"): entry
+        for entry in entries
+        if isinstance(entry, dict)
+    }
+    matched: set[str] = set()
+    new: list[Finding] = []
+    accepted: list[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in known:
+            matched.add(fingerprint)
+            accepted.append(finding)
+        else:
+            new.append(finding)
+    stale = [
+        entry
+        for fingerprint, entry in known.items()
+        if fingerprint not in matched
+    ]
+    return BaselineDiff(new=new, accepted=accepted, stale=stale)

@@ -1,0 +1,158 @@
+"""Per-file parsing context and the checker interface.
+
+Every checker sees one :class:`ModuleContext` at a time (one parsed
+source file) plus, at the end of the run, the whole :class:`Project`
+for cross-file contracts (a wire message must have a round-trip test
+*somewhere*; every catalog entry must have a planted call site).
+
+Checkers are deliberately dumb ``ast`` walkers: no type inference, no
+imports resolution beyond "this file ``import random``-ed the stdlib
+module".  Where true data-flow would be needed (VER01's dominance
+check), the approximation is statement order within one function body —
+cheap, predictable, and auditable; the escape hatch for the rare
+false positive is an inline justified suppression, never silence.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding, Suppression, parse_suppressions
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file."""
+
+    path: Path
+    relpath: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: dict[int, Suppression] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "ModuleContext":
+        source = path.read_text(encoding="utf-8")
+        relpath = path.relative_to(root).as_posix()
+        return cls(
+            path=path,
+            relpath=relpath,
+            module=module_name(relpath),
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            lines=source.splitlines(),
+            suppressions=parse_suppressions(source.splitlines()),
+        )
+
+    @property
+    def in_library(self) -> bool:
+        return self.module.startswith("repro.") or self.module == "repro"
+
+    @property
+    def in_tests(self) -> bool:
+        return self.relpath.startswith("tests/")
+
+
+@dataclass
+class Project:
+    """Every parsed file of one analysis run."""
+
+    root: Path
+    modules: list[ModuleContext]
+
+    def library_modules(self) -> list[ModuleContext]:
+        return [ctx for ctx in self.modules if ctx.in_library]
+
+    def test_modules(self) -> list[ModuleContext]:
+        return [ctx for ctx in self.modules if ctx.in_tests]
+
+    def find(self, module: str) -> ModuleContext | None:
+        for ctx in self.modules:
+            if ctx.module == module:
+                return ctx
+        return None
+
+
+class Checker:
+    """Base class: one rule id, checked per-module and/or project-wide."""
+
+    rule: str = ""
+    title: str = ""
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/net/rpc.py`` → ``repro.net.rpc``;
+    ``tests/net/test_rpc.py`` → ``tests.net.test_rpc``.
+    """
+    parts = list(Path(relpath).with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted name of a call target or attribute chain.
+
+    ``time.perf_counter`` → ``"time.perf_counter"``;
+    ``self.cache.put`` → ``"self.cache.put"``; anything non-static
+    (subscripts, calls) contributes a ``?`` segment.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append("?")
+    return ".".join(reversed(parts))
+
+
+def walk_calls(tree: ast.AST) -> Iterable[tuple[ast.Call, str]]:
+    """Every call in ``tree`` with its dotted target name."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node, dotted_name(node.func)
+
+
+def enclosing_functions(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    """Map every node to its nearest enclosing function (or ``None``)."""
+    owner: dict[ast.AST, ast.AST] = {}
+
+    def visit(node: ast.AST, current: ast.AST | None) -> None:
+        owner[node] = current
+        inner = (
+            node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            else current
+        )
+        for child in ast.iter_child_nodes(node):
+            visit(child, inner)
+
+    visit(tree, None)
+    return owner
+
+
+def str_arg(call: ast.Call, position: int = 0) -> str | None:
+    """The call's ``position``-th argument when it is a string literal."""
+    if len(call.args) <= position:
+        return None
+    arg = call.args[position]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    return None

@@ -1,0 +1,183 @@
+"""DET01/DET02 — the replay contract, enforced at the call-site level.
+
+The whole-system simulation (:mod:`repro.sim`) promises *same seed ⇒
+byte-identical fingerprint*, and the shrinker and every replay command
+rest on it.  That promise dies silently the moment a hot path reads the
+wall clock or an unseeded randomness source: the schedule still
+replays, but timeouts, cache sweeps, or jitter start varying run to
+run, and the exact class of bug the harness exists to catch becomes
+unreproducible.
+
+* **DET01** — wall-clock reads (``time.time``, ``time.monotonic``,
+  ``time.perf_counter``, ``time.sleep``, ``datetime.now`` ...) anywhere
+  outside :mod:`repro.obs.wallclock`.  Logic wants the virtual bus
+  clock (``bus.clock_ms``); measurement wants the one audited wall
+  helper, so a reviewer can see every wall-clock consumer in one place.
+
+* **DET02** — unseeded randomness (module-level ``random.*``,
+  ``os.urandom``, ``uuid.uuid4``, ``secrets.*``) outside
+  ``repro/crypto/``.  All library randomness must flow from a named
+  ``random.Random(seed)`` stream so replay can reproduce it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.context import Checker, ModuleContext, walk_calls
+from repro.analysis.findings import Finding
+
+#: The only module allowed to touch the wall clock.  Everything else —
+#: including obs tracing — goes through its helpers, so grep-for-wall
+#: has exactly one answer.
+WALLCLOCK_MODULES = frozenset({"repro.obs.wallclock"})
+
+#: Dotted call names that read or burn wall time.
+WALL_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.sleep",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "date.today",
+    }
+)
+
+#: Modules whose *purpose* is cryptographic entropy: key generation is
+#: the one legitimate consumer of OS randomness in this library.
+ENTROPY_MODULES_PREFIX = "repro.crypto"
+
+#: Unseeded randomness sources.  ``random.Random`` (the seeded-stream
+#: constructor) is explicitly fine; everything module-level is not.
+UNSEEDED_CALLS = frozenset(
+    {
+        "os.urandom",
+        "uuid.uuid4",
+        "uuid.uuid1",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+#: ``random.<fn>`` module-level functions that draw from the hidden
+#: global (hence unseeded, hence replay-breaking) stream.
+RANDOM_MODULE_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "betavariate",
+        "expovariate",
+        "getrandbits",
+        "randbytes",
+        "seed",
+        "triangular",
+        "vonmisesvariate",
+    }
+)
+
+
+class WallClockChecker(Checker):
+    rule = "DET01"
+    title = "wall-clock call outside repro.obs.wallclock"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.module in WALLCLOCK_MODULES:
+            return
+        for call, name in walk_calls(ctx.tree):
+            if name in WALL_CALLS:
+                yield Finding(
+                    rule=self.rule,
+                    path=ctx.relpath,
+                    line=call.lineno,
+                    message=(
+                        f"wall-clock call {name}() outside the "
+                        "repro.obs.wallclock allowlist"
+                    ),
+                    hint=(
+                        "use the virtual bus clock (bus.clock_ms) for "
+                        "logic, or repro.obs.wallclock helpers for "
+                        "measurement"
+                    ),
+                )
+
+
+class UnseededRandomChecker(Checker):
+    rule = "DET02"
+    title = "unseeded randomness outside repro.crypto"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.module.startswith(ENTROPY_MODULES_PREFIX):
+            return
+        imports_random = _imports_module(ctx.tree, "random")
+        for call, name in walk_calls(ctx.tree):
+            flagged = name in UNSEEDED_CALLS or (
+                imports_random
+                and name.startswith("random.")
+                and name.split(".", 1)[1] in RANDOM_MODULE_FNS
+            )
+            if flagged:
+                yield Finding(
+                    rule=self.rule,
+                    path=ctx.relpath,
+                    line=call.lineno,
+                    message=(
+                        f"unseeded randomness {name}() — replay cannot "
+                        "reproduce it"
+                    ),
+                    hint=(
+                        "draw from a named random.Random(seed) stream "
+                        "threaded from the caller (crypto/ key material "
+                        "is the only os.urandom consumer)"
+                    ),
+                )
+        yield from self._from_imports(ctx)
+
+    def _from_imports(self, ctx: ModuleContext) -> Iterable[Finding]:
+        """``from random import random`` smuggles the global stream in
+        under a bare name the call scan above cannot see."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom) or node.module != "random":
+                continue
+            for alias in node.names:
+                if alias.name in RANDOM_MODULE_FNS:
+                    yield Finding(
+                        rule=self.rule,
+                        path=ctx.relpath,
+                        line=node.lineno,
+                        message=(
+                            f"from random import {alias.name} exposes the "
+                            "unseeded global stream"
+                        ),
+                        hint="import random; use a random.Random(seed) stream",
+                    )
+
+
+def _imports_module(tree: ast.Module, name: str) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name == name for alias in node.names):
+                return True
+    return False

@@ -14,7 +14,6 @@ Fig. 8/9 plot:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.bench.params import BenchParams
@@ -24,6 +23,7 @@ from repro.chain.genesis import make_genesis
 from repro.chain.vm import VM
 from repro.contracts import BLOCKBENCH
 from repro.core.issuer import CertificateIssuer
+from repro.obs.wallclock import elapsed_s, now_s
 from repro.query.indexes import AuthenticatedIndexSpec
 from repro.sgx.attestation import AttestationService
 
@@ -138,15 +138,15 @@ class CertifiedChainHarness:
         # Outside-enclave pre-processing (Alg. 1 lines 2-3), measured
         # separately so Fig. 8's breakdown is a real measurement rather
         # than a subtraction.
-        started = time.perf_counter()
+        started = now_s()
         result, update_proof = self.issuer.preprocess(block)
-        outside_s = time.perf_counter() - started
+        outside_s = elapsed_s(started)
 
-        started = time.perf_counter()
+        started = now_s()
         self.issuer.process_block(
             block, schemes=schemes, precomputed=(result, update_proof)
         )
-        total_s = outside_s + (time.perf_counter() - started)
+        total_s = outside_s + elapsed_s(started)
 
         ledger = self.issuer.enclave.ledger
         timings = CertTimings(

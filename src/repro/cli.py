@@ -35,9 +35,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro import __version__
+from repro.obs import wallclock
 
 
 def _fresh_vm():
@@ -133,11 +133,11 @@ def cmd_demo(args: argparse.Namespace) -> int:
     batch = getattr(args, "batch_size", 1)
     mode = f" in batches of {batch}" if batch > 1 else ""
     print(f"Mining and certifying {args.blocks} blocks{mode}...")
-    started = time.perf_counter()
+    started = wallclock.now_s()
     builder, issuer, ias, spec, genesis, vm = _build_world(
         blocks=args.blocks, batch_size=batch
     )
-    print(f"  done in {time.perf_counter() - started:.1f}s "
+    print(f"  done in {wallclock.elapsed_s(started):.1f}s "
           f"({issuer.enclave.ledger.ecalls} ecalls)")
     if batch > 1:
         stats = issuer.proof_cache.stats()
@@ -152,10 +152,10 @@ def cmd_demo(args: argparse.Namespace) -> int:
     )
     client = SuperlightClient(measurement, ias.public_key)
     tip = issuer.certified[-1]
-    started = time.perf_counter()
+    started = wallclock.now_s()
     client.validate_chain(tip.block.header, tip.certificate)
     print(f"Superlight client validated a {builder.height}-block chain in "
-          f"{(time.perf_counter() - started) * 1000:.1f} ms, "
+          f"{wallclock.elapsed_ms(started):.1f} ms, "
           f"storing {client.storage_bytes()} bytes.")
 
     client.validate_index_certificate(
@@ -981,6 +981,14 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "analyze":
+        # The analyzer owns its argument surface (--json, --baseline,
+        # --rule ...); hand everything after the subcommand straight to
+        # it rather than mirroring each flag here.
+        from repro.analysis import main as analysis_main
+
+        return analysis_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="DCert reproduction CLI"
     )
@@ -1107,6 +1115,12 @@ def main(argv: list[str] | None = None) -> int:
         help="snapshot every registered component (client, hub, gateway, "
              "replicas) together with the metrics registry in one document, "
              "exercising the push stream along the way",
+    )
+    subparsers.add_parser(
+        "analyze",
+        help="AST-based invariant linter over src/ and tests/ "
+             "(DET/VER/ERR/BND/WIRE/OBS/CAT rules; see docs/analysis.md)",
+        add_help=False,
     )
     args = parser.parse_args(argv)
     handlers = {

@@ -42,7 +42,7 @@ from repro.chain.block import BlockHeader
 from repro.core.certificate import Certificate
 from repro.crypto import PublicKey
 from repro.crypto.hashing import Digest
-from repro.errors import ReproError
+from repro.errors import ConfigError
 from repro.query.api import QueryAnswer, QueryRequest
 
 
@@ -144,26 +144,26 @@ class ClientConfig:
 
     def validate(self) -> None:
         if self.bus is not None and not self.issuers:
-            raise ReproError("a remote client needs at least one issuer")
+            raise ConfigError("a remote client needs at least one issuer")
         if self.providers and self.gateway is not None:
-            raise ReproError(
+            raise ConfigError(
                 "pass providers or a gateway, not both"
             )
         if self.bus is None and (self.providers or self.gateway or self.hub):
-            raise ReproError(
+            raise ConfigError(
                 "providers/gateway/hub are remote-mode settings; pass a bus"
             )
         if self.issuer is not None and (
             self.bus is not None or self.gateway is not None
         ):
-            raise ReproError(
+            raise ConfigError(
                 "issuer= is the local-mode hook; a remote client names "
                 "issuers= endpoints instead"
             )
         if self.subscribe and self.bus is not None and self.hub is None:
-            raise ReproError("subscribe=True needs a hub endpoint")
+            raise ConfigError("subscribe=True needs a hub endpoint")
         if self.subscribe and self.bus is None and self.issuer is None:
-            raise ReproError("a local subscribing client needs issuer=")
+            raise ConfigError("a local subscribing client needs issuer=")
 
 
 def connect(config: ClientConfig) -> LightClient:

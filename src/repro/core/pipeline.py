@@ -21,12 +21,12 @@ single-threaded figure.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.chain.block import Block
 from repro.core.issuer import CertificateIssuer, CertifiedBlock
 from repro.fault.crashpoints import crashpoint
+from repro.obs.wallclock import elapsed_s, now_s
 
 
 @dataclass(slots=True)
@@ -73,9 +73,9 @@ class CertificationPipeline:
         self._pending_stage_s = 0.0
 
     def submit(self, block: Block) -> list[CertifiedBlock]:
-        start = time.perf_counter()
+        start = now_s()
         self.issuer.stage_block(block)
-        elapsed = time.perf_counter() - start
+        elapsed = elapsed_s(start)
         self.stats.blocks += 1
         self.stats.stage_s += elapsed
         self._pending_stage_s += elapsed
@@ -93,9 +93,9 @@ class CertificationPipeline:
         self.stats.overlap_saved_s += min(
             self._prev_certify_s, self._pending_stage_s
         )
-        start = time.perf_counter()
+        start = now_s()
         certified = self.issuer.certify_staged()
-        elapsed = time.perf_counter() - start
+        elapsed = elapsed_s(start)
         self.stats.batches += 1
         self.stats.certify_s += elapsed
         self._prev_certify_s = elapsed

@@ -13,6 +13,8 @@ the SP's proofs against those roots.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro import obs
 from repro.chain.block import BlockHeader
 from repro.core.certificate import CERT_SIG_DOMAIN, Certificate
@@ -24,6 +26,13 @@ from repro.errors import CertificateError
 
 class SuperlightClient:
     """Constant-cost blockchain (and index) integrity validation."""
+
+    #: Cap on cached verified attestation reports.  One entry per
+    #: distinct enclave identity suffices in steady state (§4.3: "check
+    #: an attestation report only once for the same enclave"), so the
+    #: cap only matters under an adversarial stream of fresh-looking
+    #: reports — exactly when an unbounded set would be a memory hole.
+    VERIFIED_REPORTS_LIMIT = 64
 
     def __init__(
         self,
@@ -40,15 +49,21 @@ class SuperlightClient:
         # validated (measurement, report_data, IAS key, signature) — a
         # signature-only key would let a report with a tampered
         # measurement but a replayed signature ride the cache.
-        self._verified_reports: set[tuple[bytes, ...]] = set()
+        # LRU-bounded: see VERIFIED_REPORTS_LIMIT.
+        self._verified_reports: OrderedDict[tuple[bytes, ...], None] = (
+            OrderedDict()
+        )
         # Latest certified root per authenticated index, plus the
         # certificate vouching for it — the client must *hold* the
         # index certificates (they are part of its durable state and
         # its storage bill).
+        # repro: allow[BND01] one entry per configured index; billed in storage_bytes()
         self._index_roots: dict[str, tuple[int, Digest]] = {}
+        # repro: allow[BND01] one entry per configured index; billed in storage_bytes()
         self._index_certs: dict[str, Certificate] = {}
         # Streaming surface: tip-adoption callbacks and the issuer
         # hooks a direct subscription installed (see subscribe()).
+        # repro: allow[BND01] one entry per application on_tip registration
         self._tip_callbacks: list = []
         self._subscriptions: list[tuple[object, object]] = []
 
@@ -268,12 +283,16 @@ class SuperlightClient:
             cert.report.ias_key.to_bytes(),
             cert.report.signature.to_bytes(),
         )
-        if report_id not in self._verified_reports:
+        if report_id in self._verified_reports:
+            self._verified_reports.move_to_end(report_id)
+        else:
             if not cert.report.verify(self.ias_public_key):
                 raise CertificateError("attestation report not signed by the IAS")
             if cert.report.measurement != self.expected_measurement:
                 raise CertificateError("certificate from an unexpected enclave program")
-            self._verified_reports.add(report_id)
+            self._verified_reports[report_id] = None
+            while len(self._verified_reports) > self.VERIFIED_REPORTS_LIMIT:
+                self._verified_reports.popitem(last=False)
         if cert.pk_enc.to_bytes() != cert.report.report_data:
             raise CertificateError("pk_enc does not match the attestation report")
         if not verify(cert.pk_enc, cert.dig, cert.sig, CERT_SIG_DOMAIN):
@@ -389,6 +408,7 @@ class RemoteSuperlightClient:
                 for endpoint in (*self.issuers, *self.providers)
             }
         else:
+            # repro: allow[BND01] keyed by the fixed endpoint set above; never grows after __init__
             self._breakers = {}
         if self.gateway is not None and self.gateway.verify_switch is None:
             self.gateway.verify_switch = self._verify_replica_roots
@@ -928,6 +948,7 @@ class RemoteSuperlightClient:
             return
         entry = self.client._index_roots.get(getattr(request, "index", None))
         height = entry[0] if entry else -1
+        # repro: allow[VER01] both callers admit only answers that just passed verify_answer()
         self.cache.put(request, root, answer, height=height)
 
     # -- replica switch verification ----------------------------------------

@@ -120,11 +120,34 @@ class ArchiveCorruptionError(StorageError):
     code = "storage.corruption"
 
 
+class ConfigError(ReproError):
+    """A component was constructed or configured incoherently.
+
+    Raised before any protocol work happens (a client config mixing
+    local- and remote-mode settings, a schedule generator asked for an
+    unknown profile), so never retryable: the caller's arguments are
+    wrong and will be wrong again."""
+
+    code = "config"
+
+
 class NetworkError(ReproError):
     """Base class for failures in the simulated network / RPC layer."""
 
     code = "net"
     retryable = True
+
+
+class BusError(NetworkError):
+    """The simulated message bus was mis-wired (duplicate or unknown
+    node names).
+
+    Not retryable, despite being a :class:`NetworkError`: topology is
+    static once built, so re-sending to a node that is not wired will
+    deterministically fail again."""
+
+    code = "net.bus"
+    retryable = False
 
 
 class WireError(NetworkError):

@@ -26,7 +26,7 @@ import heapq
 from typing import Callable
 
 from repro import obs
-from repro.errors import ReproError
+from repro.errors import BusError
 
 Handler = Callable[[object], None]
 
@@ -47,6 +47,7 @@ class NetworkNode:
     def __init__(self, name: str, *, record_limit: int | None = 256) -> None:
         self.name = name
         self.record_limit = record_limit
+        # repro: allow[BND01] topic registry, one entry per on() wiring call
         self._handlers: dict[str, Handler] = {}
         self.received: list[object] = []
         self.delivered_count = 0
@@ -75,8 +76,11 @@ class MessageBus:
     def __init__(self, default_latency_ms: float = 50.0) -> None:
         self.default_latency_ms = default_latency_ms
         self.fault_injector = None  # repro.net.faults.FaultInjector | None
+        # repro: allow[BND01] static topology, one entry per joined node
         self._nodes: dict[str, NetworkNode] = {}
+        # repro: allow[BND01] static topology, one edge per subscribe() wiring call
         self._subscriptions: dict[str, list[str]] = {}
+        # repro: allow[BND01] static topology, one entry per configured link
         self._latency: dict[tuple[str, str], float] = {}
         self._queue: list[tuple[float, int, str | None, str, object]] = []
         self._sequence = 0
@@ -84,13 +88,13 @@ class MessageBus:
 
     def join(self, node: NetworkNode) -> NetworkNode:
         if node.name in self._nodes:
-            raise ReproError(f"node name {node.name!r} already joined")
+            raise BusError(f"node name {node.name!r} already joined")
         self._nodes[node.name] = node
         return node
 
     def subscribe(self, node_name: str, topic: str) -> None:
         if node_name not in self._nodes:
-            raise ReproError(f"unknown node {node_name!r}")
+            raise BusError(f"unknown node {node_name!r}")
         self._subscriptions.setdefault(topic, [])
         if node_name not in self._subscriptions[topic]:
             self._subscriptions[topic].append(node_name)
@@ -114,7 +118,7 @@ class MessageBus:
     def send(self, sender: str, receiver: str, topic: str, message: object) -> None:
         """Point-to-point delivery, independent of subscriptions."""
         if receiver not in self._nodes:
-            raise ReproError(f"unknown node {receiver!r}")
+            raise BusError(f"unknown node {receiver!r}")
         self._enqueue(sender, receiver, topic, message)
 
     def schedule(self, delay_ms: float, callback: Callable[[], None]) -> None:

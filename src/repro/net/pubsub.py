@@ -46,7 +46,7 @@ from repro import obs
 from repro.chain.block import BlockHeader
 from repro.core.certificate import Certificate
 from repro.crypto.hashing import Digest
-from repro.errors import ReproError, ServiceUnavailableError
+from repro.errors import ConfigError, ReproError, ServiceUnavailableError
 from repro.fault.crashpoints import crashpoint
 from repro.net import wire
 from repro.net.bus import MessageBus
@@ -247,7 +247,7 @@ class SubscriptionHub:
                 self.seq = len(certified)
         hooks = getattr(issuer, "on_certified", None)
         if hooks is None:
-            raise ReproError(
+            raise ConfigError(
                 f"{type(issuer).__name__} has no on_certified hook to attach to"
             )
         hooks.append(self.publish)

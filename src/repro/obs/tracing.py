@@ -25,9 +25,9 @@ allocation, no clock reads.
 
 from __future__ import annotations
 
-import time
 
 from repro.obs import metrics
+from repro.obs.wallclock import elapsed_ms, now_s
 
 
 class _NullSpan:
@@ -63,11 +63,11 @@ class Span:
         _STACK.append(self.name)
         clock = self._registry.virtual_clock
         self._virtual_started = clock() if clock is not None else None
-        self._wall_started = time.perf_counter()
+        self._wall_started = now_s()
         return self
 
     def __exit__(self, *exc: object) -> bool:
-        wall_ms = (time.perf_counter() - self._wall_started) * 1000.0
+        wall_ms = elapsed_ms(self._wall_started)
         _STACK.pop()
         clock = self._registry.virtual_clock
         vclock_ms = (

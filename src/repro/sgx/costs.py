@@ -19,10 +19,11 @@ model can be disabled for unit tests via :func:`cost_model_disabled`.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
+
+from repro.obs.wallclock import busy_wait_s
 
 
 @dataclass(slots=True)
@@ -125,8 +126,4 @@ def cost_model_disabled() -> Iterator[None]:
 
 def spend(seconds: float) -> None:
     """Busy-wait ``seconds`` so modeled cost appears in wall clock."""
-    if seconds <= 0:
-        return
-    deadline = time.perf_counter() + seconds
-    while time.perf_counter() < deadline:
-        pass
+    busy_wait_s(seconds)

@@ -20,13 +20,13 @@ program can expose data (e.g. its public key) by returning it.
 from __future__ import annotations
 
 import inspect
-import time
 from typing import Any
 
 from repro import obs
 from repro.crypto.hashing import Digest, tagged_hash
 from repro.errors import EnclaveError
 from repro.fault.crashpoints import crashpoint
+from repro.obs.wallclock import elapsed_s, now_s
 from repro.sgx.attestation import AttestationReport, AttestationService, sign_quote
 from repro.sgx.costs import CostLedger, SGXCostModel, model_enabled, spend
 from repro.sgx.platform import SGXPlatform
@@ -184,11 +184,11 @@ class EnclaveHost:
             if paging > 0:
                 obs.inc("sgx.epc_paging_events")
                 obs.inc("sgx.epc_paging_s", paging)
-        started = time.perf_counter()
+        started = now_s()
         try:
             result = handler(*args, **kwargs)
         finally:
-            elapsed = time.perf_counter() - started
+            elapsed = elapsed_s(started)
             self.ledger.in_enclave_s += elapsed
             obs.observe(f"sgx.ecall_ms.{name}", elapsed * 1000.0)
             if charging:

@@ -19,7 +19,7 @@ import hashlib
 import random
 from dataclasses import dataclass
 
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.fault.crashpoints import crash_armed
 from repro.net import LinkFaults
 from repro.net.wire import encode
@@ -122,7 +122,7 @@ class ScenarioSchedule:
     ) -> "ScenarioSchedule":
         table = WEIGHT_PROFILES.get(profile)
         if table is None:
-            raise ReproError(
+            raise ConfigError(
                 f"unknown schedule profile {profile!r}; "
                 f"available: {', '.join(sorted(WEIGHT_PROFILES))}"
             )

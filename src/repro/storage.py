@@ -345,11 +345,11 @@ class ChainArchive:
         sidecar = WriteAheadLog(self.checkpoint_path)
         try:
             payloads, torn = sidecar.read(repair=False)
-        except ArchiveFormatError:
+        except ArchiveFormatError as exc:
             if self.checkpoint_path.exists():
                 raise ArchiveCorruptionError(
                     f"checkpoint sidecar {self.checkpoint_path} is malformed"
-                )
+                ) from exc
             return None
         if torn or len(payloads) != 1:
             raise ArchiveCorruptionError(

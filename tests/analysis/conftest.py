@@ -1,0 +1,42 @@
+"""Shared plumbing for the analyzer's own tests.
+
+Fixture snippets live in ``fixtures/`` — a directory name the runner's
+discovery deliberately skips, so the planted violations never fail
+``make analyze`` on the real repo.  Tests copy a snippet to a
+module-path-shaped location under ``tmp_path`` (the checkers scope
+themselves by dotted module name) and run the real checker stack on
+the resulting miniature project.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.runner import build_project, discover, run_checkers
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def fixture_source(name: str) -> str:
+    return (FIXTURES / name).read_text(encoding="utf-8")
+
+
+@pytest.fixture
+def analyze_files(tmp_path):
+    """Write ``{relpath: fixture-name-or-source}`` and run the checkers."""
+
+    def run(files: dict[str, str]) -> list:
+        roots = set()
+        for relpath, content in files.items():
+            if content.endswith(".py"):
+                content = fixture_source(content)
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content, encoding="utf-8")
+            roots.add(relpath.split("/", 1)[0])
+        project = build_project(
+            tmp_path, discover(tmp_path, sorted(roots))
+        )
+        return run_checkers(project)
+
+    return run

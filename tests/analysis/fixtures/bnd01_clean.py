@@ -1,0 +1,18 @@
+"""BND01 clean fixture: every container shows a bound."""
+
+import heapq
+from collections import deque
+
+
+class Client:
+    def __init__(self) -> None:
+        self.responses = {}
+        self.recent = deque(maxlen=16)
+        self.queue = []
+
+    def sweep(self) -> None:
+        while len(self.responses) > 4:
+            self.responses.pop(next(iter(self.responses)))
+
+    def drain(self):
+        return heapq.heappop(self.queue)

@@ -1,0 +1,6 @@
+"""BND01 fixture: an unbounded container on a long-lived class."""
+
+
+class Client:
+    def __init__(self) -> None:
+        self.pending = {}

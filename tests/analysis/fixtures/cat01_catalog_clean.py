@@ -1,0 +1,5 @@
+"""CAT01 clean fixture catalog."""
+
+CATALOG = (
+    "wal.append.pre_write",
+)

@@ -1,0 +1,6 @@
+"""CAT01 fixture catalog with a never-planted entry."""
+
+CATALOG = (
+    "wal.append.pre_write",
+    "never.planted.point",
+)

@@ -1,0 +1,7 @@
+"""CAT01 clean fixture: every plant is cataloged."""
+
+from repro.fault.crashpoints import crashpoint
+
+
+def append() -> None:
+    crashpoint("wal.append.pre_write")

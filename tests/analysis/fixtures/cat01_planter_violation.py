@@ -1,0 +1,8 @@
+"""CAT01 fixture: plants one cataloged and one unknown point."""
+
+from repro.fault.crashpoints import crashpoint
+
+
+def append() -> None:
+    crashpoint("wal.append.pre_write")
+    crashpoint("typo.point")

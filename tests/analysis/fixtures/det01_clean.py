@@ -1,0 +1,7 @@
+"""DET01 clean fixture: wall time via the audited helper."""
+
+from repro.obs.wallclock import now_s
+
+
+def stamp() -> float:
+    return now_s()

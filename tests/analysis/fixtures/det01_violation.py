@@ -1,0 +1,11 @@
+"""DET01 fixture: wall-clock reads in library logic."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def wait() -> None:
+    time.sleep(0.1)

@@ -1,0 +1,7 @@
+"""DET02 clean fixture: a named, seeded stream."""
+
+import random
+
+
+def jitter(seed: int) -> float:
+    return random.Random(seed).random()

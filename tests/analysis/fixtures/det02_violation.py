@@ -1,0 +1,12 @@
+"""DET02 fixture: unseeded randomness in library code."""
+
+import os
+import random
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def token() -> bytes:
+    return os.urandom(8)

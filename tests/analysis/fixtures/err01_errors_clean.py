@@ -1,0 +1,13 @@
+"""ERR01 clean fixture: every class owns a unique code."""
+
+
+class ReproError(Exception):
+    code = "error"
+
+
+class FirstError(ReproError):
+    code = "first"
+
+
+class SecondError(ReproError):
+    code = "second"

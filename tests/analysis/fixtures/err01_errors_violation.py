@@ -1,0 +1,17 @@
+"""ERR01 fixture: taxonomy holes (missing and duplicate codes)."""
+
+
+class ReproError(Exception):
+    code = "error"
+
+
+class MissingCodeError(ReproError):
+    pass
+
+
+class FirstError(ReproError):
+    code = "dup"
+
+
+class SecondError(ReproError):
+    code = "dup"

@@ -1,0 +1,7 @@
+"""ERR01 clean fixture: raise sites use taxonomy members."""
+
+from repro.errors import FirstError
+
+
+def fail() -> None:
+    raise FirstError("typed")

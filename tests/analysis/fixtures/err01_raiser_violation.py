@@ -1,0 +1,11 @@
+"""ERR01 fixture: untyped raise sites."""
+
+from repro.errors import ReproError
+
+
+def fail() -> None:
+    raise ReproError("bare base class")
+
+
+def fail_unregistered() -> None:
+    raise UnregisteredError("not in the taxonomy")

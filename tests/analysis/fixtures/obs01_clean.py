@@ -1,0 +1,8 @@
+"""OBS01 clean fixture: component.metric names."""
+
+from repro import obs
+
+
+def record(method: str) -> None:
+    obs.inc("rpc.server.served")
+    obs.observe(f"rpc.server.handle_ms.{method}", 1.0)

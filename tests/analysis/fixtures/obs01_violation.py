@@ -1,0 +1,8 @@
+"""OBS01 fixture: metric names off the grammar."""
+
+from repro import obs
+
+
+def record(method: str) -> None:
+    obs.inc("BadName")
+    obs.observe(f"{method}.handle_ms", 1.0)

@@ -1,0 +1,8 @@
+"""Suppression fixture: a justified allow silences the finding."""
+
+import time
+
+
+def stamp() -> float:
+    # repro: allow[DET01] fixture demonstrating a justified suppression
+    return time.time()

@@ -1,0 +1,7 @@
+"""Suppression fixture: an allow with no reason is itself a finding."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro: allow[DET01]

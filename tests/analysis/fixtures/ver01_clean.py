@@ -1,0 +1,14 @@
+"""VER01 clean fixture: verification dominates the adoption."""
+
+
+class SuperlightClient:
+    def __init__(self) -> None:
+        self.latest_header = None
+
+    def adopt(self, header, cert) -> None:
+        self._check_certificate(cert)
+        self.latest_header = header
+
+    def _check_certificate(self, cert) -> None:
+        if cert is None:
+            raise ValueError("no certificate")

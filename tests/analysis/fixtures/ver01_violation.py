@@ -1,0 +1,9 @@
+"""VER01 fixture: trusted-state adoption with no verification."""
+
+
+class SuperlightClient:
+    def __init__(self) -> None:
+        self.latest_header = None
+
+    def adopt(self, header) -> None:
+        self.latest_header = header

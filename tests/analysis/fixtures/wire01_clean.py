@@ -1,0 +1,8 @@
+"""WIRE01 clean fixture: frozen, and referenced by a test."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TestedMessage:
+    seq: int

@@ -1,0 +1,13 @@
+"""WIRE01 fixture: mutable and untested wire messages."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MutableMessage:
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class UntestedMessage:
+    seq: int

@@ -1,0 +1,123 @@
+"""Baseline diff semantics and the ``python -m repro.analysis`` CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import baseline
+from repro.analysis.findings import Finding
+from repro.analysis.runner import main
+
+
+def finding(rule="DET01", path="src/repro/x.py", message="m", line=3):
+    return Finding(rule=rule, path=path, line=line, message=message)
+
+
+# -- diff semantics -----------------------------------------------------------
+
+
+def test_diff_splits_new_accepted_and_stale():
+    known = finding(message="accepted")
+    fresh = finding(message="fresh")
+    entries = [
+        {"fingerprint": known.fingerprint(), "rule": known.rule},
+        {"fingerprint": "0" * 16, "rule": "BND01", "message": "gone"},
+    ]
+    split = baseline.diff([known, fresh], entries)
+    assert split.accepted == [known]
+    assert split.new == [fresh]
+    assert [e["message"] for e in split.stale] == ["gone"]
+
+
+def test_fingerprint_ignores_line_numbers():
+    # Shifting code may not churn the baseline...
+    assert finding(line=3).fingerprint() == finding(line=99).fingerprint()
+    # ...but a changed message (or path, or rule) is a new finding.
+    assert (
+        finding(message="a").fingerprint() != finding(message="b").fingerprint()
+    )
+
+
+def test_save_load_round_trip(tmp_path):
+    path = tmp_path / "analysis-baseline.json"
+    baseline.save(path, [finding()])
+    entries = baseline.load(path)
+    assert len(entries) == 1
+    assert entries[0]["fingerprint"] == finding().fingerprint()
+    assert baseline.load(tmp_path / "absent.json") == []
+
+
+# -- CLI behaviour ------------------------------------------------------------
+
+
+def write_violation(tmp_path):
+    target = tmp_path / "src" / "repro" / "net" / "example.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import time\n\nx = time.time()\n", encoding="utf-8")
+
+
+def test_cli_fails_on_new_findings(tmp_path, capsys):
+    write_violation(tmp_path)
+    code = main(["--root", str(tmp_path), "src"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET01" in out
+    assert "1 new" in out
+
+
+def test_cli_update_baseline_then_clean_then_stale(tmp_path, capsys):
+    write_violation(tmp_path)
+    assert main(["--root", str(tmp_path), "--update-baseline", "src"]) == 0
+
+    # Baselined: the same finding no longer fails the run.
+    assert main(["--root", str(tmp_path), "src"]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # Fixing the violation strands the baseline entry: stale, loud.
+    (tmp_path / "src" / "repro" / "net" / "example.py").write_text(
+        "x = 1\n", encoding="utf-8"
+    )
+    assert main(["--root", str(tmp_path), "src"]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_cli_no_baseline_ignores_the_file(tmp_path, capsys):
+    write_violation(tmp_path)
+    assert main(["--root", str(tmp_path), "--update-baseline", "src"]) == 0
+    assert main(["--root", str(tmp_path), "--no-baseline", "src"]) == 1
+    assert "DET01" in capsys.readouterr().out
+
+
+def test_cli_json_output(tmp_path, capsys):
+    write_violation(tmp_path)
+    code = main(["--root", str(tmp_path), "--json", "src"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert [f["rule"] for f in payload["new"]] == ["DET01"]
+    assert payload["new"][0]["line"] == 3
+    assert payload["stale_baseline"] == []
+
+
+def test_cli_rule_filter(tmp_path, capsys):
+    write_violation(tmp_path)
+    assert main(["--root", str(tmp_path), "--rule", "BND01", "src"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_accepts_absolute_paths_under_the_root(tmp_path, capsys):
+    write_violation(tmp_path)
+    target = tmp_path / "src" / "repro" / "net"
+    code = main(["--root", str(tmp_path), str(target)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "src/repro/net/example.py" in out
+
+
+def test_cli_refuses_absolute_paths_outside_the_root(tmp_path, capsys):
+    write_violation(tmp_path)
+    elsewhere = tmp_path / "elsewhere"
+    elsewhere.mkdir()
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--root", str(elsewhere), str(tmp_path / "src")])
+    assert excinfo.value.code == 2
+    assert "outside the analysis root" in capsys.readouterr().err

@@ -1,0 +1,28 @@
+"""The real repo passes its own analyzer.
+
+This is the fifth test layer eating its own dog food: the full checker
+stack over the actual ``src/`` and ``tests/`` trees must produce
+nothing beyond the checked-in baseline — which this repo keeps empty,
+so genuine violations are fixed (or carry a justified inline
+suppression), never accumulated.
+"""
+
+from pathlib import Path
+
+from repro.analysis import baseline
+from repro.analysis.runner import analyze
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_analysis_is_clean_against_baseline():
+    findings = analyze(REPO_ROOT)
+    entries = baseline.load(REPO_ROOT / baseline.DEFAULT_BASELINE)
+    split = baseline.diff(findings, entries)
+    assert not split.new, "\n".join(f.render() for f in split.new)
+    assert not split.stale, split.stale
+
+
+def test_checked_in_baseline_is_empty():
+    entries = baseline.load(REPO_ROOT / baseline.DEFAULT_BASELINE)
+    assert entries == []

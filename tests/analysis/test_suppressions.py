@@ -1,0 +1,63 @@
+"""The inline-suppression contract: justified allows silence, bare
+allows are themselves findings."""
+
+from repro.analysis.findings import (
+    Finding,
+    parse_suppressions,
+    suppression_for,
+)
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+def test_justified_suppression_silences_the_finding(analyze_files):
+    findings = analyze_files(
+        {"src/repro/net/example.py": "sup_justified.py"}
+    )
+    assert rules(findings) == []
+
+
+def test_unjustified_suppression_reports_both(analyze_files):
+    findings = analyze_files(
+        {"src/repro/net/example.py": "sup_unjustified.py"}
+    )
+    # The original finding survives AND the bare allow is flagged.
+    assert sorted(rules(findings)) == ["DET01", "SUP01"]
+    sup = next(f for f in findings if f.rule == "SUP01")
+    assert sup.line == 7
+    assert "no justification" in sup.message
+
+
+def test_suppression_only_covers_its_own_rule(analyze_files):
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp() -> float:\n"
+        "    # repro: allow[BND01] wrong rule for this line\n"
+        "    return time.time()\n"
+    )
+    findings = analyze_files({"src/repro/net/example.py": source})
+    assert rules(findings) == ["DET01"]
+
+
+def test_parse_suppressions_comment_above_and_same_line():
+    lines = [
+        "# repro: allow[DET01] measurement only",
+        "x = time.time()",
+        "y = time.time()  # repro: allow[DET01, DET02] both rules",
+    ]
+    sups = parse_suppressions(lines)
+    assert set(sups) == {1, 3}
+    assert sups[1].rules == ("DET01",)
+    assert sups[1].justified
+    assert sups[3].rules == ("DET01", "DET02")
+
+    finding_line2 = Finding(rule="DET01", path="p", line=2, message="m")
+    assert suppression_for(sups, finding_line2) is sups[1]
+    finding_line3 = Finding(rule="DET02", path="p", line=3, message="m")
+    assert suppression_for(sups, finding_line3) is sups[3]
+    uncovered = Finding(rule="VER01", path="p", line=3, message="m")
+    assert suppression_for(sups, uncovered) is None

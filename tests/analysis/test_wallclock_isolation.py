@@ -1,0 +1,45 @@
+"""DET01's semantic half: the sim fingerprint is wall-clock blind.
+
+The static rule pins every wall-clock read into
+:mod:`repro.obs.wallclock`; this test proves the invariant the rule
+exists for — jittering that one module's clock source arbitrarily
+must not move a deterministic simulation's fingerprint, because wall
+time only ever feeds observations, never logic.
+"""
+
+import random
+
+from repro.obs import wallclock
+from repro.sim.shrink import run_sim
+
+
+class JitteryClock:
+    """A perf_counter that lurches forward by random amounts."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+        self._now = 0.0
+
+    def perf_counter(self) -> float:
+        self._now += self._rng.uniform(0.0, 120.0)
+        return self._now
+
+
+def test_sim_fingerprint_is_wall_clock_independent(monkeypatch):
+    reference = run_sim(17, 30).fingerprint
+
+    for clock_seed in (1, 2):
+        monkeypatch.setattr(wallclock, "time", JitteryClock(clock_seed))
+        assert run_sim(17, 30).fingerprint == reference
+
+
+def test_wallclock_helpers_route_through_one_source(monkeypatch):
+    ticks = iter([10.0, 10.5, 12.0, 13.5])
+    monkeypatch.setattr(
+        wallclock, "time", type("T", (), {"perf_counter": staticmethod(lambda: next(ticks))})
+    )
+    started = wallclock.now_s()
+    assert started == 10.0
+    assert wallclock.elapsed_s(started) == 0.5
+    assert wallclock.elapsed_ms(started) == 2000.0
+    assert wallclock.now_ms() == 13500.0

@@ -186,3 +186,20 @@ def test_empty_wallet_roundtrip(certified_setup):
     restored = SuperlightClient.from_json(client.to_json())
     assert restored.latest_header is None
     assert restored.storage_bytes() == 0
+
+
+def test_verified_report_cache_is_bounded(client, certified_setup):
+    # Pretend earlier sessions verified other enclaves, and shrink the
+    # cap so the next genuine verification must evict the oldest.
+    client.VERIFIED_REPORTS_LIMIT = 2
+    client._verified_reports[(b"old-a", b"r", b"k", b"s")] = None
+    client._verified_reports[(b"old-b", b"r", b"k", b"s")] = None
+    certified = certified_setup["issuer"].certified[0]
+    assert client.validate_chain(
+        certified.block.header, certified.certificate
+    )
+    assert len(client._verified_reports) == 2
+    assert (b"old-a", b"r", b"k", b"s") not in client._verified_reports
+    # The freshly verified identity survived; revalidation stays cached.
+    client.validate_chain(certified.block.header, certified.certificate)
+    assert len(client._verified_reports) == 2

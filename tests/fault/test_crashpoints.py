@@ -22,11 +22,13 @@ def test_crashpoint_is_noop_when_disarmed():
 
 def test_uncataloged_name_fails_loudly_when_disarmed():
     with pytest.raises(AssertionError):
+        # repro: allow[CAT01] deliberately uncataloged name; asserts the loud failure
         crashpoint("not.a.real.point")
 
 
 def test_schedule_rejects_unknown_point_and_bad_hit():
     with pytest.raises(ValueError):
+        # repro: allow[CAT01] deliberately uncataloged name; asserts the loud failure
         CrashSchedule("not.a.real.point")
     with pytest.raises(ValueError):
         CrashSchedule("wal.append.pre_write", hit=0)

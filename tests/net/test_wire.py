@@ -7,6 +7,13 @@ import pytest
 from repro.crypto import generate_keypair
 from repro.errors import WireError
 from repro.net import wire
+from repro.net.messages import LagNotice, StreamAck
+from repro.net.pubsub import (
+    HeartbeatReply,
+    SubscribeReply,
+    SyncReply,
+    TipAnnouncement,
+)
 from repro.query.api import (
     AggregateQuery,
     HistoryQuery,
@@ -120,3 +127,41 @@ def test_unknown_structural_field_rejected():
     tampered = encoded.replace(b'"account"', b'"acct_no"')
     with pytest.raises(WireError):
         wire.decode(tampered)
+
+
+# -- push-stream wire messages ------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        StreamAck(subscriber="client-3", seq=41),
+        SubscribeReply(latest_seq=7, lease_ms=30_000.0),
+        HeartbeatReply(latest_seq=9, subscribed=True, lagged=False),
+        HeartbeatReply(latest_seq=0, subscribed=False, lagged=True),
+        LagNotice(latest_seq=12, dropped=4),
+        SyncReply(announcements=(), latest_seq=3, oldest_retained=1),
+    ],
+)
+def test_push_stream_messages_round_trip(message):
+    decoded = wire.decode(wire.encode(message))
+    assert decoded == message
+    assert type(decoded) is type(message)
+
+
+def test_sync_reply_with_announcement_round_trips(certified_setup):
+    certified = certified_setup["issuer"].certified[-1]
+    announcement = TipAnnouncement(
+        seq=5,
+        published_at_ms=125.0,
+        header=certified.block.header,
+        certificate=certified.certificate,
+        index_certificates=certified.index_certificates,
+        index_roots=certified.index_roots,
+    )
+    reply = SyncReply(
+        announcements=(announcement,), latest_seq=5, oldest_retained=2
+    )
+    decoded = wire.decode(wire.encode(reply))
+    assert decoded == reply
+    assert decoded.announcements[0].certificate == certified.certificate

@@ -160,3 +160,16 @@ def test_sim_leaves_observability_disabled():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_analyze_subcommand_delegates_to_the_linter(tmp_path, capsys):
+    target = tmp_path / "src" / "repro" / "net" / "example.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import time\n\nx = time.time()\n", encoding="utf-8")
+    assert main(["analyze", "--root", str(tmp_path), "src"]) == 1
+    out = capsys.readouterr().out
+    assert "DET01" in out and "1 new" in out
+
+    assert main(["analyze", "--root", str(tmp_path), "--json", "src"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["new"][0]["rule"] == "DET01"
